@@ -1,0 +1,68 @@
+"""Benchmark harness configuration.
+
+Every module in this directory regenerates one table or figure of the
+paper and prints the same rows/series the paper reports.  Heavy page-level
+experiments are cached per session so that figures sharing a run (e.g.
+Fig. 2 and Fig. 3(a)) build it once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — size factor for the page-level experiments
+  (default 1.0 = the paper's actual sizes; use e.g. 0.1 for a quick pass).
+* ``REPRO_BENCH_TICKS`` — measurement ticks per scenario (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.experiments.scenarios import ScenarioResult, run_scenario
+from repro.core.preload import CacheDeployment
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_TICKS = int(os.environ.get("REPRO_BENCH_TICKS", "6"))
+
+#: Tight absolute-MB assertions only hold near full scale (fixed-size
+#: pieces like the 256 KiB cache header distort shrunk runs slightly).
+FULL_SCALE = BENCH_SCALE >= 0.5
+
+def pytest_configure(config):
+    """Show each figure's printed rows even for passing benches.
+
+    Adds the 'P' report char so the captured stdout (the regenerated
+    tables/series) lands in the run summary without needing ``-s``.
+    """
+    current = config.option.reportchars or ""
+    if "P" not in current and "A" not in current:
+        config.option.reportchars = current + "P"
+
+
+_scenario_cache = {}
+
+
+def get_scenario(scenario: str, deployment: CacheDeployment) -> ScenarioResult:
+    """Session-cached page-level scenario run at the bench scale."""
+    key = (scenario, deployment)
+    if key not in _scenario_cache:
+        _scenario_cache[key] = run_scenario(
+            scenario,
+            deployment,
+            scale=BENCH_SCALE,
+            measurement_ticks=BENCH_TICKS,
+        )
+    return _scenario_cache[key]
+
+
+def scale_mb(num_bytes: float) -> float:
+    """Convert measured bytes back to full-scale MB for reporting."""
+    return num_bytes / BENCH_SCALE / (1024 * 1024)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,94 @@
+"""Ablation A10 (extension) — why SPECjbb resists page sharing (§VI).
+
+Memory Buddies reported that its sharing-aware collocation found little
+shareable memory for SPECjbb; the paper points out they only blamed the
+heap churn and never analysed the JVM native area.  This bench runs the
+full analysis on SPECjbb guests and shows *both* facts: the heap is
+indeed hopeless (churned every interval), and even with the paper's
+preloading the overall saving fraction stays small — because SPECjbb has
+no middleware to speak of, its class area is a sliver of the process.
+DayTrader/WAS under the same deployment serves as the contrast.
+"""
+
+from conftest import BENCH_SCALE
+from repro.config import Benchmark
+from repro.core.categories import MemoryCategory
+from repro.core.experiments.testbed import (
+    GuestSpec,
+    KvmTestbed,
+    TestbedConfig,
+    scale_kernel_profile,
+    scale_workload,
+)
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_kv
+from repro.units import GiB, MiB
+from repro.workloads.base import build_workload
+
+SCALE = min(BENCH_SCALE, 0.2)
+
+
+def _java_saving_fraction(benchmark: Benchmark, guest_memory: int):
+    workload = scale_workload(build_workload(benchmark), SCALE)
+    config = TestbedConfig(
+        deployment=CacheDeployment.SHARED_COPY,
+        kernel_profile=scale_kernel_profile(SCALE),
+        host_ram_bytes=max(int(6 * GiB * SCALE), 64 * MiB),
+        host_kernel_bytes=int(300 * MiB * SCALE),
+        qemu_overhead_bytes=max(1 << 16, int(40 * MiB * SCALE)),
+        measurement_ticks=3,
+        scale=SCALE,
+    )
+    specs = [
+        GuestSpec(
+            f"vm{i + 1}", max(1, int(guest_memory * SCALE)), workload
+        )
+        for i in range(2)
+    ]
+    result = KvmTestbed(specs, config).measure()
+    rows = result.java_breakdown.non_primary_rows()
+    saving = sum(row.shared_bytes() for row in rows) / len(rows)
+    total = sum(row.total_bytes() for row in rows) / len(rows)
+    heap_fraction = sum(
+        row.shared_fraction(MemoryCategory.JAVA_HEAP) for row in rows
+    ) / len(rows)
+    class_fraction = sum(
+        row.shared_fraction(MemoryCategory.CLASS_METADATA) for row in rows
+    ) / len(rows)
+    return saving / total, heap_fraction, class_fraction
+
+
+def run():
+    return {
+        "specjbb": _java_saving_fraction(
+            Benchmark.SPECJBB, int(1.25 * GiB)
+        ),
+        "daytrader": _java_saving_fraction(Benchmark.DAYTRADER, 1 * GiB),
+    }
+
+
+def test_ablation_specjbb(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    jbb_total, jbb_heap, jbb_class = results["specjbb"]
+    dt_total, dt_heap, dt_class = results["daytrader"]
+    print()
+    print(render_kv(
+        "A10: SPECjbb vs DayTrader under preloading (non-primary JVMs)",
+        [
+            ("SPECjbb: java memory TPS-saved",
+             f"{100 * jbb_total:.1f}%"),
+            ("SPECjbb: heap shared", f"{100 * jbb_heap:.1f}%"),
+            ("SPECjbb: class area shared", f"{100 * jbb_class:.1f}%"),
+            ("DayTrader: java memory TPS-saved",
+             f"{100 * dt_total:.1f}%"),
+        ],
+    ))
+
+    # The class area itself shares fine either way (the technique works)…
+    assert jbb_class > 0.6
+    # …but SPECjbb's overall saving stays small because the process is
+    # almost all churned heap — Memory Buddies' observation…
+    assert jbb_heap < 0.06
+    assert jbb_total < 0.10
+    # …while the middleware-heavy workload saves a much larger fraction.
+    assert dt_total > 1.5 * jbb_total

@@ -1,0 +1,58 @@
+"""Fig. 2 — breakdown of physical memory usage and TPS savings, baseline.
+
+Four 1 GB KVM guests run WAS + DayTrader with KSM enabled but no class
+preloading.  The paper reports: the Java process is by far the largest
+consumer (≈750 MB of the 1 GB guest); the guest kernel uses 219 MB in the
+owner VM and ≈106 MB (≈50 %) of it is shared for the other VMs; almost
+none of the Java memory is shared (≈20 MB per non-primary process).
+"""
+
+from conftest import get_scenario, scale_mb
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_vm_breakdown
+
+
+def run():
+    return get_scenario("daytrader4", CacheDeployment.NONE)
+
+
+def test_fig2_vm_breakdown(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.vm_breakdown
+    print()
+    print(render_vm_breakdown(
+        breakdown, "Fig. 2: physical memory usage and TPS savings (baseline)"
+    ))
+
+    rows = breakdown.rows
+    assert len(rows) == 4
+
+    # The Java process dominates every guest.
+    for row in rows:
+        java_mapped = row.usage_bytes["java"] + row.shared_bytes["java"]
+        assert java_mapped > 2 * row.usage_bytes["other_processes"]
+        assert java_mapped > row.usage_bytes["guest_kernel"]
+        print(
+            f"  {row.vm_name}: java={scale_mb(java_mapped):.0f} MB "
+            f"(paper: ~750 MB)"
+        )
+
+    # Most savings come from the guest kernel, not Java (the paper's
+    # headline finding).
+    kernel_saving = sum(row.shared_bytes["guest_kernel"] for row in rows)
+    java_saving = sum(row.shared_bytes["java"] for row in rows)
+    print(
+        f"  kernel saving={scale_mb(kernel_saving):.0f} MB, "
+        f"java saving={scale_mb(java_saving):.0f} MB "
+        f"(paper: kernel ~318 MB total, java ~60 MB total)"
+    )
+    assert kernel_saving > 1.5 * java_saving
+
+    # ~50 % of the non-owner kernels is shared with VM 1's copy.
+    shares = sorted(
+        row.shared_bytes["guest_kernel"]
+        / max(1, row.usage_bytes["guest_kernel"]
+              + row.shared_bytes["guest_kernel"])
+        for row in rows
+    )
+    assert all(0.3 < fraction < 0.7 for fraction in shares[1:])

@@ -1,0 +1,57 @@
+"""Fig. 3(a) — detailed Java memory breakdown of the WAS processes, baseline.
+
+Per-JVM category bars for the same run as Fig. 2.  Paper findings: TPS
+shares the code area well but almost nothing else; ≈0.7 % of the Java
+heap (zero pages, soon re-dirtied); ≈9.2 % of the JVM+JIT work area (NIO
+buffers, arena slack, bulk-allocated-unused structures); class metadata,
+JIT code and stacks effectively unshared.
+"""
+
+from conftest import FULL_SCALE, get_scenario, scale_mb
+from repro.core.categories import MemoryCategory
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_java_breakdown
+
+
+def run():
+    return get_scenario("daytrader4", CacheDeployment.NONE)
+
+
+def test_fig3a_java_breakdown(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.java_breakdown
+    print()
+    print(render_java_breakdown(
+        breakdown, "Fig. 3(a): Java memory breakdown, baseline"
+    ))
+
+    assert len(breakdown.rows) == 4
+    non_primary = breakdown.non_primary_rows()
+    assert len(non_primary) == 3
+
+    for row in non_primary:
+        # Code area: the one well-shared area.
+        assert row.shared_fraction(MemoryCategory.CODE) > 0.5
+        # Class metadata: essentially unshared without preloading.
+        assert row.shared_fraction(MemoryCategory.CLASS_METADATA) < 0.05
+        # Heap: ~0.7 % in the paper; allow < 6 %.
+        heap_fraction = row.shared_fraction(MemoryCategory.JAVA_HEAP)
+        assert heap_fraction < 0.06
+        # JVM+JIT work: ~9.2 % in the paper; allow 2-20 %.
+        work = row.work_area()
+        work_fraction = work.shared_bytes / max(1, work.total_bytes)
+        assert 0.02 < work_fraction < 0.2
+        # JIT code and stacks: unshared.
+        assert row.shared_fraction(MemoryCategory.JIT_CODE) < 0.02
+        assert row.shared_fraction(MemoryCategory.STACK) < 0.02
+        print(
+            f"  {row.vm_name}: heap {100 * heap_fraction:.1f}% shared "
+            f"(paper 0.7%), work {100 * work_fraction:.1f}% (paper 9.2%)"
+        )
+
+    # Per-process footprint lands near the paper's ~750 MB.
+    for row in breakdown.rows:
+        total_mb = scale_mb(row.total_bytes())
+        print(f"  {row.vm_name}: total {total_mb:.0f} MB (paper ~750 MB)")
+        if FULL_SCALE:
+            assert 650 < total_mb < 850

@@ -1,0 +1,44 @@
+"""Fig. 3(b) — Java breakdowns for DayTrader / SPECjEnterprise / TPC-W.
+
+Three guests run three different applications inside the same WAS version,
+baseline (no preloading).  The paper uses this to show the limited TPS
+effectiveness is not DayTrader-specific.  Note: with *different* apps per
+VM, even the NIO-buffer coincidence disappears, so the work-area sharing
+drops below the 4-identical-VMs case.
+"""
+
+from conftest import get_scenario, scale_mb
+from repro.core.categories import MemoryCategory
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_java_breakdown
+
+
+def run():
+    return get_scenario("mixed3", CacheDeployment.NONE)
+
+
+def test_fig3b_mixed_apps(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.java_breakdown
+    print()
+    print(render_java_breakdown(
+        breakdown,
+        "Fig. 3(b): DayTrader / SPECjEnterprise / TPC-W in one WAS, baseline",
+    ))
+
+    assert len(breakdown.rows) == 3
+    # SPECj (the 1.25 GB guest, vm2) has the largest footprint, TPC-W the
+    # smallest — the ordering the figure shows.
+    totals = {row.vm_name: row.total_bytes() for row in breakdown.rows}
+    assert totals["vm2"] > totals["vm1"] > totals["vm3"]
+    for row in breakdown.rows:
+        print(f"  {row.vm_name}: {scale_mb(row.total_bytes()):.0f} MB")
+
+    # Class metadata still unshared; code still shared.
+    for row in breakdown.non_primary_rows():
+        assert row.shared_fraction(MemoryCategory.CLASS_METADATA) < 0.05
+        assert row.shared_fraction(MemoryCategory.CODE) > 0.5
+        # Different benchmarks => different NIO contents => the work-area
+        # sharing is smaller than in Fig. 3(a) (only zero pages remain).
+        work = row.work_area()
+        assert work.shared_bytes / max(1, work.total_bytes) < 0.15

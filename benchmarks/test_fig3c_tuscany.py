@@ -1,0 +1,37 @@
+"""Fig. 3(c) — Java breakdowns for three Tuscany bigbank servers, baseline.
+
+Tuscany runs standalone (no WAS), with a 32 MB heap and a 25 MB cache
+configuration — the paper's evidence that the TPS findings are not
+middleware-specific.  Footprints are an order of magnitude smaller than
+the WAS runs (the figure's axis tops out at 160 MB).
+"""
+
+from conftest import FULL_SCALE, get_scenario, scale_mb
+from repro.core.categories import MemoryCategory
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_java_breakdown
+
+
+def run():
+    return get_scenario("tuscany3", CacheDeployment.NONE)
+
+
+def test_fig3c_tuscany(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.java_breakdown
+    print()
+    print(render_java_breakdown(
+        breakdown, "Fig. 3(c): three Tuscany bigbank servers, baseline"
+    ))
+
+    assert len(breakdown.rows) == 3
+    for row in breakdown.rows:
+        total_mb = scale_mb(row.total_bytes())
+        print(f"  {row.vm_name}: {total_mb:.0f} MB (paper bars ~140 MB)")
+        if FULL_SCALE:
+            assert 90 < total_mb < 180
+
+    for row in breakdown.non_primary_rows():
+        assert row.shared_fraction(MemoryCategory.CLASS_METADATA) < 0.05
+        assert row.shared_fraction(MemoryCategory.CODE) > 0.5
+        assert row.shared_fraction(MemoryCategory.JIT_CODE) < 0.02

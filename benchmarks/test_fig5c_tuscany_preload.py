@@ -1,0 +1,33 @@
+"""Fig. 5(c) — Tuscany servers with a copied cache: not WAS-specific.
+
+Three standalone Tuscany servers attach copies of one 25 MB cache; most
+of the (much smaller) class area becomes TPS-shared, mirroring Fig. 5(a)
+at a tenth of the footprint.
+"""
+
+from conftest import get_scenario
+from repro.core.categories import MemoryCategory
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_java_breakdown
+
+
+def run():
+    return get_scenario("tuscany3", CacheDeployment.SHARED_COPY)
+
+
+def test_fig5c_tuscany_preload(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    breakdown = result.java_breakdown
+    print()
+    print(render_java_breakdown(
+        breakdown, "Fig. 5(c): Tuscany servers, classes preloaded"
+    ))
+
+    non_primary = breakdown.non_primary_rows()
+    assert len(non_primary) == 2
+    for row in non_primary:
+        fraction = row.shared_fraction(MemoryCategory.CLASS_METADATA)
+        print(f"  {row.vm_name}: class metadata {100 * fraction:.1f}% shared")
+        assert fraction > 0.7
+        # Everything the baseline could not share still is not shared.
+        assert row.shared_fraction(MemoryCategory.JIT_CODE) < 0.02

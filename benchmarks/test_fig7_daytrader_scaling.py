@@ -1,0 +1,62 @@
+"""Fig. 7 — DayTrader throughput as guest VMs are added (1–9 VMs).
+
+The paper's consolidation headline: with the default configuration the
+6 GB host runs 7 VMs at acceptable throughput and collapses at 8
+(17.2 req/s); with class preloading it still runs 8 VMs well (148.1
+req/s reported) and both configurations collapse at 9 (6.8 vs 2.9).
+Per-VM footprints feeding the sweep are *measured* from the page-level
+simulation; the throughput comes from the residency/paging model.
+"""
+
+from conftest import BENCH_SCALE
+from repro.core.experiments.consolidation import run_daytrader_consolidation
+from repro.core.report import render_series
+from repro.units import MiB
+
+
+def run():
+    return run_daytrader_consolidation(footprint_scale=BENCH_SCALE)
+
+
+def test_fig7_daytrader_scaling(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Fig. 7: DayTrader throughput vs number of guest VMs (req/s)",
+        "guest VMs",
+        result.vm_counts,
+        {
+            "default": result.series("default"),
+            "preloaded": result.series("preloaded"),
+        },
+    ))
+    for label, footprint in result.footprints.items():
+        print(
+            f"  {label}: R={footprint.per_vm_resident_bytes / MiB:.0f} MB, "
+            f"S={footprint.per_nonprimary_saving_bytes / MiB:.0f} MB "
+            f"per non-primary VM"
+        )
+
+    default = dict(zip(result.vm_counts, result.series("default")))
+    preloaded = dict(zip(result.vm_counts, result.series("preloaded")))
+
+    # Ramp: both configurations scale linearly while memory fits.
+    assert default[4] > 3.5 * default[1]
+
+    # The paper's crossover: default acceptable through 7 VMs, preloaded
+    # through 8 — one extra VM.
+    assert result.max_acceptable_vms("default") == 7
+    assert result.max_acceptable_vms("preloaded") == 8
+
+    # The cliff: default collapses at 8 (17.2 vs 148.1 in the paper);
+    # at 9 both are degraded with preloaded still ahead (6.8 vs 2.9).
+    assert default[8] < 0.25 * default[7]
+    assert preloaded[8] > 4 * default[8]
+    assert preloaded[9] < 0.3 * preloaded[8]
+    assert preloaded[9] > default[9]
+    print(
+        f"  default@8={default[8]:.1f} (paper 17.2), "
+        f"preloaded@8={preloaded[8]:.1f} (paper 148.1), "
+        f"default@9={default[9]:.1f} (paper 2.9), "
+        f"preloaded@9={preloaded[9]:.1f} (paper 6.8)"
+    )

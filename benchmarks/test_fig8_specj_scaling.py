@@ -1,0 +1,53 @@
+"""Fig. 8 — SPECjEnterprise 2010 score vs guest VMs at injection rate 15.
+
+Gencon GC (530 MB nursery + 200 MB tenured), 1.25 GB guests.  Paper: the
+score sits at ≈24 EjOPS (the right score for IR 15 on that machine) for
+5–6 VMs with the default configuration and 5–7 with preloading; at 7 VMs
+the default degrades to 15 and misses the response-time SLA — preloading
+again buys one extra guest VM.
+"""
+
+from conftest import BENCH_SCALE
+from repro.core.experiments.consolidation import run_specj_consolidation
+from repro.core.report import render_series
+
+
+def run():
+    return run_specj_consolidation(footprint_scale=BENCH_SCALE)
+
+
+def test_fig8_specj_scaling(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_series(
+        "Fig. 8: SPECjEnterprise 2010 score vs guest VMs (EjOPS, IR=15)",
+        "guest VMs",
+        result.vm_counts,
+        {
+            "default": result.series("default"),
+            "preloaded": result.series("preloaded"),
+        },
+    ))
+    default_points = {p.n_vms: p for p in result.points["default"]}
+    preloaded_points = {p.n_vms: p for p in result.points["preloaded"]}
+
+    # Flat at ~24 while the SLA holds (no performance peak; fixed IR).
+    for n_vms in (5, 6):
+        assert default_points[n_vms].metric == 24.0
+        assert default_points[n_vms].sla_met
+    assert preloaded_points[7].metric == 24.0
+    assert preloaded_points[7].sla_met
+
+    # Default fails the SLA at 7 VMs (degraded to 15 in the paper).
+    assert not default_points[7].sla_met
+    assert default_points[7].metric < 24.0
+
+    # Both degrade at 8.
+    assert not default_points[8].sla_met
+    assert not preloaded_points[8].sla_met
+    print(
+        f"  default@7={default_points[7].metric:.1f} EjOPS, SLA="
+        f"{default_points[7].sla_met} (paper: 15, SLA missed); "
+        f"preloaded@7={preloaded_points[7].metric:.1f}, SLA="
+        f"{preloaded_points[7].sla_met} (paper: ~24, SLA met)"
+    )

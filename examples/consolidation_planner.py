@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Consolidation planner: how many guest VMs fit on this host?
+
+This is the paper's §V.C scenario turned into a capacity-planning tool:
+given a host RAM size and a Java workload, it measures the per-VM
+footprint and the TPS saving from a small page-level simulation, then
+sweeps the VM count and reports the throughput curve and the largest VM
+count that still performs acceptably — with and without the paper's
+class-preloading deployment.
+
+Run:
+    python examples/consolidation_planner.py [host_ram_gb] [scale]
+"""
+
+import sys
+
+from repro import run_daytrader_consolidation
+from repro.core.report import render_series
+from repro.units import GiB, MiB
+
+
+def main() -> None:
+    host_ram_gb = float(sys.argv[1]) if len(sys.argv) > 1 else 6.0
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+
+    print(
+        f"Planning DayTrader consolidation on a {host_ram_gb:.0f} GB host "
+        f"(footprints measured at scale {scale})"
+    )
+    result = run_daytrader_consolidation(
+        footprint_scale=scale,
+        host_ram_bytes=int(host_ram_gb * GiB),
+    )
+
+    print()
+    for label, footprint in result.footprints.items():
+        print(
+            f"measured {label}: one VM maps "
+            f"{footprint.per_vm_resident_bytes / MiB:.0f} MB; each extra "
+            f"VM really costs {footprint.marginal_vm_bytes / MiB:.0f} MB "
+            f"(TPS refunds {footprint.per_nonprimary_saving_bytes / MiB:.0f} MB)"
+        )
+
+    print()
+    print(render_series(
+        "Projected DayTrader throughput (req/s) — cf. paper Fig. 7",
+        "guest VMs",
+        result.vm_counts,
+        {
+            "default": result.series("default"),
+            "preloaded": result.series("preloaded"),
+        },
+    ))
+
+    print()
+    for label in ("default", "preloaded"):
+        best = result.max_acceptable_vms(label)
+        print(f"{label}: run at most {best} guest VMs on this host")
+    gain = result.max_acceptable_vms("preloaded") - result.max_acceptable_vms(
+        "default"
+    )
+    print(f"class preloading buys {gain} extra guest VM(s)")
+
+
+if __name__ == "__main__":
+    main()

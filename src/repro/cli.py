@@ -1,0 +1,224 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro fig2  [--scale 0.1] [--ticks 4] [--seed 42]
+    python -m repro fig5a --scale 1.0
+    python -m repro fig7
+    python -m repro scenario daytrader4 --deployment shared-copy
+    python -m repro tables
+
+Figures 2–5 run the page-level breakdown scenarios; Fig. 6 the PowerVM
+experiment; Figs. 7–8 the consolidation sweeps.  ``--scale`` shrinks all
+memory sizes proportionally (default 0.1 for interactive use; pass 1.0
+for the paper's actual sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.experiments.consolidation import (
+    run_daytrader_consolidation,
+    run_specj_consolidation,
+)
+from repro.core.experiments.powervm import run_powervm_experiment
+from repro.core.experiments.scenarios import SCENARIOS, run_scenario
+from repro.core.preload import CacheDeployment
+from repro.core.report import (
+    render_java_breakdown,
+    render_kv,
+    render_series,
+    render_vm_breakdown,
+)
+from repro.units import MiB
+
+#: figure id -> (scenario, deployment, which breakdown to print)
+_BREAKDOWN_FIGURES = {
+    "fig2": ("daytrader4", CacheDeployment.NONE, "vm"),
+    "fig3a": ("daytrader4", CacheDeployment.NONE, "java"),
+    "fig3b": ("mixed3", CacheDeployment.NONE, "java"),
+    "fig3c": ("tuscany3", CacheDeployment.NONE, "java"),
+    "fig4": ("daytrader4", CacheDeployment.SHARED_COPY, "vm"),
+    "fig5a": ("daytrader4", CacheDeployment.SHARED_COPY, "java"),
+    "fig5b": ("mixed3", CacheDeployment.SHARED_COPY, "java"),
+    "fig5c": ("tuscany3", CacheDeployment.SHARED_COPY, "java"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--scale", type=float, default=0.1,
+        help="size factor for all memory quantities (1.0 = paper sizes)",
+    )
+    common.add_argument(
+        "--ticks", type=int, default=4,
+        help="measurement ticks for the breakdown scenarios",
+    )
+    common.add_argument("--seed", type=int, default=20130421)
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Increasing the Transparent Page Sharing in Java' "
+            "(ISPASS 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for figure in _BREAKDOWN_FIGURES:
+        sub.add_parser(figure, parents=[common], help=f"regenerate {figure}")
+    sub.add_parser("fig6", parents=[common],
+                   help="PowerVM before/after totals")
+    sub.add_parser("fig7", parents=[common],
+                   help="DayTrader consolidation sweep")
+    sub.add_parser("fig8", parents=[common],
+                   help="SPECjEnterprise consolidation sweep")
+    sub.add_parser("tables", help="print Tables I-IV presets")
+    scenario = sub.add_parser(
+        "scenario", parents=[common], help="run a custom scenario"
+    )
+    scenario.add_argument("name", choices=SCENARIOS)
+    scenario.add_argument(
+        "--deployment",
+        choices=[d.value for d in CacheDeployment],
+        default="none",
+    )
+    return parser
+
+
+def _run_breakdown_figure(figure: str, args) -> None:
+    scenario, deployment, kind = _BREAKDOWN_FIGURES[figure]
+    result = run_scenario(
+        scenario, deployment, scale=args.scale,
+        measurement_ticks=args.ticks, seed=args.seed,
+    )
+    title = (
+        f"{figure}: {scenario} ({deployment.value}), scale={args.scale}"
+    )
+    if kind == "vm":
+        print(render_vm_breakdown(result.vm_breakdown, title))
+    else:
+        print(render_java_breakdown(result.java_breakdown, title))
+    print()
+    print(result.ksm_stats)
+
+
+def _run_fig6(args) -> None:
+    result = run_powervm_experiment(scale=args.scale, seed=args.seed)
+    cases = ["not-preloaded", "preloaded"]
+    print(render_series(
+        f"fig6: PowerVM usage of three guests (MB at scale {args.scale})",
+        "case",
+        cases,
+        {
+            "before sharing": [
+                result.cases[c].usage_before_bytes / MiB for c in cases
+            ],
+            "after sharing": [
+                result.cases[c].usage_after_bytes / MiB for c in cases
+            ],
+            "saving": [result.cases[c].saving_bytes / MiB for c in cases],
+        },
+    ))
+
+
+def _run_consolidation(figure: str, args) -> None:
+    if figure == "fig7":
+        result = run_daytrader_consolidation(
+            footprint_scale=args.scale, seed=args.seed
+        )
+        unit = "req/s"
+    else:
+        result = run_specj_consolidation(
+            footprint_scale=args.scale, seed=args.seed
+        )
+        unit = "EjOPS"
+    print(render_series(
+        f"{figure}: throughput vs guest VMs ({unit})",
+        "guest VMs",
+        result.vm_counts,
+        {
+            "default": result.series("default"),
+            "preloaded": result.series("preloaded"),
+        },
+    ))
+    for label in ("default", "preloaded"):
+        footprint = result.footprints[label]
+        print(
+            f"  {label}: R={footprint.per_vm_resident_bytes / MiB:.0f} MB, "
+            f"S={footprint.per_nonprimary_saving_bytes / MiB:.0f} MB, "
+            f"max acceptable VMs={result.max_acceptable_vms(label)}"
+        )
+
+
+def _run_tables() -> None:
+    from repro.config import (
+        DAYTRADER_JVM,
+        INTEL_HOST,
+        POWER_HOST,
+        SPECJ_WORKLOAD,
+        TUSCANY_JVM,
+    )
+    from repro.core.categories import MemoryCategory
+    from repro.units import GiB
+
+    print(render_kv(
+        "Table I: physical machines",
+        [
+            ("Intel host", f"{INTEL_HOST.name}, "
+                           f"{INTEL_HOST.ram_bytes // GiB} GB, KVM"),
+            ("POWER host", f"{POWER_HOST.name}, "
+                           f"{POWER_HOST.ram_bytes // GiB} GB, PowerVM"),
+        ],
+    ))
+    print(render_kv(
+        "Table III highlights",
+        [
+            ("DayTrader heap / cache",
+             f"{DAYTRADER_JVM.heap_bytes // MiB} / "
+             f"{DAYTRADER_JVM.shared_cache_bytes // MiB} MB"),
+            ("Tuscany heap / cache",
+             f"{TUSCANY_JVM.heap_bytes // MiB} / "
+             f"{TUSCANY_JVM.shared_cache_bytes // MiB} MB"),
+            ("SPECj injection rate", str(SPECJ_WORKLOAD.injection_rate)),
+        ],
+    ))
+    print(render_kv(
+        "Table IV: Java memory categories",
+        [(c.display_name, c.value) for c in MemoryCategory],
+    ))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command in _BREAKDOWN_FIGURES:
+        _run_breakdown_figure(command, args)
+    elif command == "fig6":
+        _run_fig6(args)
+    elif command in ("fig7", "fig8"):
+        _run_consolidation(command, args)
+    elif command == "tables":
+        _run_tables()
+    elif command == "scenario":
+        result = run_scenario(
+            args.name,
+            CacheDeployment(args.deployment),
+            scale=args.scale,
+            measurement_ticks=args.ticks,
+            seed=args.seed,
+        )
+        print(render_vm_breakdown(
+            result.vm_breakdown,
+            f"{args.name} ({args.deployment}), scale={args.scale}",
+        ))
+        print()
+        print(render_java_breakdown(result.java_breakdown, "per-JVM"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Configuration presets encoding the paper's Tables I–III.
+
+Every experiment in the paper is parameterised by three tables:
+
+* **Table I** — the physical machines (Intel/KVM host with 6 GB RAM;
+  POWER7/PowerVM host with 128 GB).
+* **Table II** — the guest VM configuration (1.00 GB guests for DayTrader,
+  TPC-W and Tuscany; 1.25 GB for SPECjEnterprise 2010; 3.5 GB AIX guests on
+  POWER; KSM at 1 000 pages per scan / 100 ms).
+* **Table III** — the Java applications and JVM settings (heap sizes,
+  shared-class-cache sizes, client threads / injection rate).
+
+The dataclasses below carry those numbers; the ``*_PRESET`` constants are
+the exact paper configurations, used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.units import GiB, MiB
+
+
+class GcPolicy(enum.Enum):
+    """J9 garbage-collection policies used in the paper."""
+
+    #: Flat heap, parallel mark-sweep with compaction (J9 -Xgcpolicy:optthruput).
+    OPTTHRUPUT = "optthruput"
+    #: Generational-concurrent: nursery copy-collect + tenured (J9 gencon).
+    GENCON = "gencon"
+
+
+class Benchmark(enum.Enum):
+    """Workloads measured in the paper (plus SPECjbb from its §VI
+    discussion of Memory Buddies)."""
+
+    DAYTRADER = "daytrader"
+    SPECJENTERPRISE = "specjenterprise2010"
+    TPCW = "tpcw"
+    TUSCANY_BIGBANK = "tuscany-bigbank"
+    SPECJBB = "specjbb2005"
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Table I: a physical machine."""
+
+    name: str
+    ram_bytes: int
+    cpu_description: str
+    hypervisor: str  # "kvm" or "powervm"
+    host_os: str = ""
+    debug_kernel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ram_bytes <= 0:
+            raise ValueError("host RAM must be positive")
+        if self.hypervisor not in ("kvm", "powervm"):
+            raise ValueError(f"unknown hypervisor {self.hypervisor!r}")
+
+
+@dataclass(frozen=True)
+class KsmSettings:
+    """Table II / §II.C: KSM scanner settings, including the warm-up boost.
+
+    The paper scans 10 000 pages per cycle for the first three minutes
+    (server start + scenario initialisation) and 1 000 afterwards; the
+    sleep interval is 100 ms throughout.
+    """
+
+    pages_to_scan: int = 1000
+    sleep_millisecs: int = 100
+    warmup_pages_to_scan: int = 10000
+    warmup_minutes: float = 3.0
+
+
+@dataclass(frozen=True)
+class GuestConfig:
+    """Table II: one guest VM."""
+
+    memory_bytes: int
+    vcpus: int = 2
+    guest_os: str = "rhel5.5-debug"
+    debug_kernel: bool = True
+    ksm: KsmSettings = field(default_factory=KsmSettings)
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("guest memory must be positive")
+
+
+@dataclass(frozen=True)
+class JvmConfig:
+    """Table III: JVM settings for one Java process."""
+
+    heap_bytes: int  # -Xms == -Xmx in all paper runs
+    shared_cache_bytes: int
+    share_classes: bool = False  # -Xshareclasses
+    cache_persistent: bool = True  # persistent sub-option (mmap file)
+    cache_name: str = "webspherev70"
+    gc_policy: GcPolicy = GcPolicy.OPTTHRUPUT
+    nursery_bytes: Optional[int] = None  # gencon only
+    tenured_bytes: Optional[int] = None  # gencon only
+
+    def __post_init__(self) -> None:
+        if self.heap_bytes <= 0:
+            raise ValueError("heap size must be positive")
+        if self.shared_cache_bytes < 0:
+            raise ValueError("cache size must be non-negative")
+        if self.gc_policy is GcPolicy.GENCON:
+            if not (self.nursery_bytes and self.tenured_bytes):
+                raise ValueError(
+                    "gencon requires nursery_bytes and tenured_bytes"
+                )
+
+    def with_sharing(self, enabled: bool = True) -> "JvmConfig":
+        """Copy of this config with -Xshareclasses toggled."""
+        return replace(self, share_classes=enabled)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Table III: the client-driver side of one benchmark."""
+
+    benchmark: Benchmark
+    client_threads: int = 0
+    injection_rate: int = 0  # SPECjEnterprise only
+    uses_was: bool = True  # Tuscany runs standalone
+
+
+# ----------------------------------------------------------------------
+# Table I presets
+# ----------------------------------------------------------------------
+
+INTEL_HOST = HostConfig(
+    name="IBM BladeCenter LS21",
+    ram_bytes=6 * GiB,
+    cpu_description="Dual-core Opteron 2.4 GHz, 2 sockets",
+    hypervisor="kvm",
+    host_os="RHEL 5.5 (2.6.18-238.5.1.el5debug)",
+)
+
+POWER_HOST = HostConfig(
+    name="IBM BladeCenter PS701",
+    ram_bytes=128 * GiB,
+    cpu_description="POWER7 3.0 GHz, 2 sockets, 4 cores/socket, SMT4",
+    hypervisor="powervm",
+    host_os="PowerVM 2.1",
+)
+
+# ----------------------------------------------------------------------
+# Table II presets
+# ----------------------------------------------------------------------
+
+INTEL_GUEST_1G = GuestConfig(memory_bytes=1 * GiB)
+INTEL_GUEST_SPECJ = GuestConfig(memory_bytes=int(1.25 * GiB))
+POWER_GUEST = GuestConfig(
+    memory_bytes=int(3.5 * GiB),
+    vcpus=1,
+    guest_os="aix6.1-tl6",
+    debug_kernel=False,  # no crash-dump breakdowns on AIX (§V.B)
+)
+
+# ----------------------------------------------------------------------
+# Table III presets
+# ----------------------------------------------------------------------
+
+DAYTRADER_JVM = JvmConfig(
+    heap_bytes=530 * MiB,
+    shared_cache_bytes=120 * MiB,
+)
+
+SPECJ_JVM = JvmConfig(
+    heap_bytes=730 * MiB,
+    shared_cache_bytes=120 * MiB,
+)
+
+#: The SPECjEnterprise consolidation runs (Fig. 8) use gencon with a
+#: 200 MB tenured area and a 530 MB nursery (§V.C).
+SPECJ_JVM_GENCON = JvmConfig(
+    heap_bytes=730 * MiB,
+    shared_cache_bytes=120 * MiB,
+    gc_policy=GcPolicy.GENCON,
+    nursery_bytes=530 * MiB,
+    tenured_bytes=200 * MiB,
+)
+
+TPCW_JVM = JvmConfig(
+    heap_bytes=512 * MiB,
+    shared_cache_bytes=120 * MiB,
+)
+
+TUSCANY_JVM = JvmConfig(
+    heap_bytes=32 * MiB,
+    shared_cache_bytes=25 * MiB,
+    cache_name="tuscany",
+)
+
+DAYTRADER_POWER_JVM = JvmConfig(
+    heap_bytes=1 * GiB,
+    shared_cache_bytes=120 * MiB,
+)
+
+#: SPECjbb2005: a standalone, heap-dominant benchmark — the workload for
+#: which Memory Buddies found "the amount of shareable memory was small"
+#: (§VI); included to reproduce that observation.
+SPECJBB_JVM = JvmConfig(
+    heap_bytes=900 * MiB,
+    shared_cache_bytes=30 * MiB,
+    cache_name="specjbb",
+)
+
+DAYTRADER_WORKLOAD = WorkloadConfig(Benchmark.DAYTRADER, client_threads=12)
+SPECJ_WORKLOAD = WorkloadConfig(
+    Benchmark.SPECJENTERPRISE, injection_rate=15
+)
+TPCW_WORKLOAD = WorkloadConfig(Benchmark.TPCW, client_threads=10)
+TUSCANY_WORKLOAD = WorkloadConfig(
+    Benchmark.TUSCANY_BIGBANK, client_threads=7, uses_was=False
+)
+DAYTRADER_POWER_WORKLOAD = WorkloadConfig(
+    Benchmark.DAYTRADER, client_threads=25
+)
+SPECJBB_WORKLOAD = WorkloadConfig(
+    Benchmark.SPECJBB, client_threads=8, uses_was=False
+)

@@ -1,0 +1,31 @@
+"""The paper's contribution: memory-forensics pipeline + preloading.
+
+* :mod:`repro.core.categories` — Table IV's Java memory categories.
+* :mod:`repro.core.dump` — collect system dumps of all translation layers.
+* :mod:`repro.core.translate` — walk guest PT → memslots → host PT.
+* :mod:`repro.core.accounting` — owner-oriented and distribution-oriented
+  attribution of shared frames.
+* :mod:`repro.core.breakdown` — the Fig. 2/3/4/5 data structures.
+* :mod:`repro.core.preload` — the class-preloading deployment (§IV).
+* :mod:`repro.core.report` — render results as the paper's figures.
+* :mod:`repro.core.experiments` — drivers for every figure.
+"""
+
+from repro.core.categories import MemoryCategory, categorize_tag
+from repro.core.dump import SystemDump, collect_system_dump
+from repro.core.accounting import (
+    owner_oriented_accounting,
+    distribution_oriented_accounting,
+)
+from repro.core.preload import CacheDeployment, build_cache_for_image
+
+__all__ = [
+    "MemoryCategory",
+    "categorize_tag",
+    "SystemDump",
+    "collect_system_dump",
+    "owner_oriented_accounting",
+    "distribution_oriented_accounting",
+    "CacheDeployment",
+    "build_cache_for_image",
+]

@@ -1,0 +1,243 @@
+"""Frame attribution: owner-oriented and distribution-oriented accounting.
+
+Once the translation layers are walked, every backed host frame has a list
+of *mappings* — (who, via which VMA) uses it.  The paper's §II.A defines
+two policies for splitting shared frames:
+
+* **Owner-oriented** (the paper's choice): one mapping owns the frame and
+  is charged its full size; every other mapping gets the page "for free"
+  and is tallied as *shared* bytes.  A Java process is always preferred as
+  owner; among Java processes, the one with the smallest PID wins.  The
+  benefit: the shared tally of a non-primary process directly reads as
+  "the additional memory needed to run another such process".
+
+* **Distribution-oriented** (Linux PSS): each of ``n`` sharers is charged
+  ``page_size / n``.
+
+Both operate purely on a :class:`~repro.core.dump.SystemDump`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.categories import MemoryCategory, categorize_tag
+from repro.core.dump import SystemDump
+from repro.core.translate import (
+    iter_process_frames,
+    iter_vm_process_pages,
+    resolve_gfn,
+)
+from repro.guestos.kernel import OwnerKind
+
+
+class UserKind(enum.IntEnum):
+    """Who maps a frame; the integer order is the ownership priority."""
+
+    JAVA = 0
+    PROCESS = 1
+    KERNEL = 2
+    VM_SELF = 3
+
+
+@dataclass(frozen=True, order=True)
+class UserKey:
+    """Identity of a memory user across the whole host."""
+
+    kind: UserKind
+    pid: int  # -1 for kernel / VM-self users
+    vm_index: int
+    vm_name: str
+
+    @property
+    def is_java(self) -> bool:
+        return self.kind is UserKind.JAVA
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One page-table mapping of one frame."""
+
+    user: UserKey
+    category: Optional[MemoryCategory]
+    tag: str
+
+
+#: fid -> all mappings of that frame.
+FrameUsage = Dict[int, List[Mapping]]
+
+
+def build_frame_usage(dump: SystemDump) -> FrameUsage:
+    """Attribute every backed frame to its users.
+
+    Guest-process pages (including file mappings pulled from the guest page
+    cache) belong to the process; guest pages backed on the host but not
+    mapped by any process belong to the guest kernel ("including buffers
+    and caches", Fig. 2); QEMU pages outside the guest-memory slots belong
+    to the guest VM itself.
+    """
+    usage: FrameUsage = defaultdict(list)
+    for guest in dump.guests:
+        claimed_gfns = set()
+        for process in guest.processes:
+            kind = UserKind.JAVA if process.is_java else UserKind.PROCESS
+            user = UserKey(kind, process.pid, guest.vm_index, guest.vm_name)
+            for _vpn, gfn, fid, vma in iter_process_frames(
+                dump, guest, process
+            ):
+                claimed_gfns.add(gfn)
+                tag = vma.tag if vma else "anon"
+                usage[fid].append(
+                    Mapping(user, categorize_tag(tag), tag)
+                )
+        kernel_user = UserKey(
+            UserKind.KERNEL, -1, guest.vm_index, guest.vm_name
+        )
+        for gfn in range(guest.guest_npages):
+            if gfn in claimed_gfns:
+                continue
+            fid = resolve_gfn(dump, guest, gfn)
+            if fid is None:
+                continue
+            owner = guest.gfn_owners.get(gfn)
+            tag = owner.tag if owner else "kernel:unknown"
+            if owner is not None and owner.kind is OwnerKind.FREE:
+                tag = "kernel:free"
+            usage[fid].append(Mapping(kernel_user, None, tag))
+        # QEMU's own pages: host vpns outside every memslot.
+        vm_self_user = UserKey(
+            UserKind.VM_SELF, -1, guest.vm_index, guest.vm_name
+        )
+        for host_vpn, fid in iter_vm_process_pages(dump, guest):
+            inside = any(
+                slot.host_base_vpn <= host_vpn < slot.host_base_vpn + slot.npages
+                for slot in guest.memslots
+            )
+            if not inside:
+                usage[fid].append(Mapping(vm_self_user, None, "qemu"))
+    return usage
+
+
+@dataclass
+class CategoryUsage:
+    """Byte tallies for one (user, category) cell."""
+
+    usage_bytes: int = 0
+    shared_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Mapped bytes: what the guest believes it uses."""
+        return self.usage_bytes + self.shared_bytes
+
+
+@dataclass
+class OwnerAccounting:
+    """Owner-oriented result: per-user, per-category tallies."""
+
+    page_size: int
+    cells: Dict[UserKey, Dict[Optional[MemoryCategory], CategoryUsage]] = (
+        field(default_factory=dict)
+    )
+
+    def cell(
+        self, user: UserKey, category: Optional[MemoryCategory]
+    ) -> CategoryUsage:
+        per_user = self.cells.setdefault(user, {})
+        entry = per_user.get(category)
+        if entry is None:
+            entry = CategoryUsage()
+            per_user[category] = entry
+        return entry
+
+    # -- aggregations ---------------------------------------------------
+
+    def users(self) -> List[UserKey]:
+        return sorted(self.cells.keys())
+
+    def java_users(self) -> List[UserKey]:
+        return [user for user in self.users() if user.is_java]
+
+    def usage_of(self, user: UserKey) -> int:
+        return sum(c.usage_bytes for c in self.cells.get(user, {}).values())
+
+    def shared_of(self, user: UserKey) -> int:
+        return sum(c.shared_bytes for c in self.cells.get(user, {}).values())
+
+    def total_of(self, user: UserKey) -> int:
+        return self.usage_of(user) + self.shared_of(user)
+
+    def total_usage(self) -> int:
+        """Physical bytes attributed across all users (= backed frames)."""
+        return sum(self.usage_of(user) for user in self.cells)
+
+    def category_usage(
+        self, user: UserKey, category: Optional[MemoryCategory]
+    ) -> CategoryUsage:
+        return self.cells.get(user, {}).get(category, CategoryUsage())
+
+
+def _owner_sort_key(mapping: Mapping) -> Tuple:
+    """Ownership priority: Java first, then smallest PID, then VM order."""
+    user = mapping.user
+    return (user.kind, user.pid if user.pid >= 0 else 1 << 30,
+            user.vm_index, mapping.tag)
+
+
+def owner_oriented_accounting(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> OwnerAccounting:
+    """The paper's accounting: one owner per frame, the rest share free.
+
+    The owner is charged the frame once, under the category of its own
+    mapping; every further mapping — other users, and any additional
+    mappings the owner itself has — adds the page size to that user's
+    *shared* tally.  Summed over all users, ``usage`` equals backed
+    physical memory and ``usage + shared`` equals mapped guest memory.
+    """
+    if usage is None:
+        usage = build_frame_usage(dump)
+    result = OwnerAccounting(page_size=dump.host.page_size)
+    page = dump.host.page_size
+    for fid, mappings in usage.items():
+        ordered = sorted(mappings, key=_owner_sort_key)
+        owner_mapping = ordered[0]
+        result.cell(owner_mapping.user, owner_mapping.category).usage_bytes += page
+        for mapping in ordered[1:]:
+            result.cell(mapping.user, mapping.category).shared_bytes += page
+    return result
+
+
+@dataclass
+class PssAccounting:
+    """Distribution-oriented (PSS) result."""
+
+    page_size: int
+    pss_bytes: Dict[UserKey, float] = field(default_factory=dict)
+    rss_bytes: Dict[UserKey, int] = field(default_factory=dict)
+
+    def users(self) -> List[UserKey]:
+        return sorted(self.pss_bytes.keys())
+
+    def total_pss(self) -> float:
+        return sum(self.pss_bytes.values())
+
+
+def distribution_oriented_accounting(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> PssAccounting:
+    """Linux-PSS-style accounting: each sharer pays 1/n of the frame."""
+    if usage is None:
+        usage = build_frame_usage(dump)
+    result = PssAccounting(page_size=dump.host.page_size)
+    page = dump.host.page_size
+    for fid, mappings in usage.items():
+        share = page / len(mappings)
+        for mapping in mappings:
+            user = mapping.user
+            result.pss_bytes[user] = result.pss_bytes.get(user, 0.0) + share
+            result.rss_bytes[user] = result.rss_bytes.get(user, 0) + page
+    return result

@@ -1,0 +1,83 @@
+"""Table IV: the categories of Java memory and their classification.
+
+The analyzer attributes every page of a Java process to one of seven
+categories using the JVM's debugging information — in the simulation, the
+VMA tags the JVM components use.  The figures combine "JIT work area" and
+"JVM work area" into a single "JVM and JIT work" series; helpers for that
+display grouping live here too.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class MemoryCategory(enum.Enum):
+    """The seven Java memory categories of Table IV."""
+
+    CODE = "code"
+    CLASS_METADATA = "class-metadata"
+    JIT_CODE = "jit-compiled-code"
+    JIT_WORK = "jit-work-area"
+    JAVA_HEAP = "java-heap"
+    JVM_WORK = "jvm-work-area"
+    STACK = "stack"
+
+    @property
+    def display_name(self) -> str:
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES = {
+    MemoryCategory.CODE: "Code",
+    MemoryCategory.CLASS_METADATA: "Class metadata",
+    MemoryCategory.JIT_CODE: "JIT-compiled code",
+    MemoryCategory.JIT_WORK: "JIT work area",
+    MemoryCategory.JAVA_HEAP: "Java heap",
+    MemoryCategory.JVM_WORK: "JVM work area",
+    MemoryCategory.STACK: "Stack",
+}
+
+#: Exact-tag and prefix rules mapping VMA tags to categories.  The shared
+#: class cache mapping (``java:scc``) is class metadata: it holds the ROM
+#: classes.  Library data segments belong to the code area per Table IV
+#: ("data areas for shared libraries").
+_TAG_RULES = (
+    ("java:scc", MemoryCategory.CLASS_METADATA),
+    ("java:class-metadata", MemoryCategory.CLASS_METADATA),
+    ("java:code-data", MemoryCategory.CODE),
+    ("java:code", MemoryCategory.CODE),
+    ("java:jit-code", MemoryCategory.JIT_CODE),
+    ("java:jit-work", MemoryCategory.JIT_WORK),
+    ("java:heap", MemoryCategory.JAVA_HEAP),
+    ("java:jvm-work", MemoryCategory.JVM_WORK),
+    ("java:stack", MemoryCategory.STACK),
+)
+
+#: Order used by the figures (stacked left to right).
+FIGURE_ORDER = (
+    MemoryCategory.CODE,
+    MemoryCategory.CLASS_METADATA,
+    MemoryCategory.JIT_CODE,
+    MemoryCategory.JIT_WORK,
+    MemoryCategory.JVM_WORK,
+    MemoryCategory.JAVA_HEAP,
+    MemoryCategory.STACK,
+)
+
+
+def categorize_tag(tag: str) -> Optional[MemoryCategory]:
+    """Map a VMA tag to its Table-IV category (None for non-Java tags)."""
+    for prefix, category in _TAG_RULES:
+        if tag == prefix or tag.startswith(prefix + ":"):
+            return category
+    return None
+
+
+def is_java_tag(tag: str) -> bool:
+    return categorize_tag(tag) is not None
+
+
+#: Categories whose figures merge into "JVM and JIT work".
+WORK_GROUP = (MemoryCategory.JIT_WORK, MemoryCategory.JVM_WORK)

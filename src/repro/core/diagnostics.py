@@ -1,0 +1,127 @@
+"""Dump diagnostics beyond the paper's figures.
+
+Utilities the figures do not need but a memory analyst immediately wants
+when staring at a dump:
+
+* :func:`sharing_histogram` — how many frames have 1, 2, 3, … mappers;
+* :func:`cross_vm_sharing_matrix` — bytes each VM shares with each other
+  VM (the paper's Fig. 2 note that the other guests' kernel memory "was
+  shared with the guest VM 1" is one cell of this matrix);
+* :func:`zero_page_census` — how much of the sharing is just zero pages
+  (the paper's §III.A heap observation);
+* :func:`category_sharing_summary` — shared fraction per Table-IV
+  category, across all Java processes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.accounting import FrameUsage, build_frame_usage
+from repro.core.categories import MemoryCategory
+from repro.core.dump import SystemDump
+from repro.mem.content import ZERO_TOKEN
+
+
+def sharing_histogram(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> Dict[int, int]:
+    """Map *number of mappings per frame* → frame count.
+
+    Bucket 1 is private memory; everything above is TPS-shared (or
+    guest-internal file sharing).
+    """
+    if usage is None:
+        usage = build_frame_usage(dump)
+    histogram: Counter = Counter()
+    for mappings in usage.values():
+        histogram[len(mappings)] += 1
+    return dict(histogram)
+
+
+def cross_vm_sharing_matrix(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> Dict[Tuple[str, str], int]:
+    """Bytes of frames jointly mapped by each (unordered) pair of VMs.
+
+    A frame mapped by three VMs contributes the page size to each of the
+    three pairs.  Diagonal cells hold bytes shared only *within* one VM
+    (e.g. two processes mapping the same guest file page).
+    """
+    if usage is None:
+        usage = build_frame_usage(dump)
+    page = dump.host.page_size
+    matrix: Dict[Tuple[str, str], int] = defaultdict(int)
+    for mappings in usage.values():
+        vm_names = sorted({m.user.vm_name for m in mappings})
+        if len(vm_names) == 1:
+            if len(mappings) > 1:
+                matrix[(vm_names[0], vm_names[0])] += page
+            continue
+        for index, first in enumerate(vm_names):
+            for second in vm_names[index + 1:]:
+                matrix[(first, second)] += page
+    return dict(matrix)
+
+
+@dataclass
+class ZeroCensus:
+    """How much of the memory (and of the sharing) is zero pages."""
+
+    zero_frames: int = 0
+    zero_mappings: int = 0
+    shared_nonzero_frames: int = 0
+    total_frames: int = 0
+
+    @property
+    def zero_fraction_of_frames(self) -> float:
+        if self.total_frames == 0:
+            return 0.0
+        return self.zero_frames / self.total_frames
+
+
+def zero_page_census(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> ZeroCensus:
+    """Count zero frames and their mappings in the dump."""
+    if usage is None:
+        usage = build_frame_usage(dump)
+    census = ZeroCensus()
+    for fid, mappings in usage.items():
+        census.total_frames += 1
+        token = dump.frame_tokens.get(fid)
+        if token == ZERO_TOKEN:
+            census.zero_frames += 1
+            census.zero_mappings += len(mappings)
+        elif len(mappings) > 1:
+            census.shared_nonzero_frames += 1
+    return census
+
+
+def category_sharing_summary(
+    dump: SystemDump, usage: Optional[FrameUsage] = None
+) -> Dict[MemoryCategory, Tuple[int, int]]:
+    """Per Table-IV category: (total mapped bytes, bytes on shared frames).
+
+    Aggregated over every Java process in the dump; "shared" means the
+    frame has more than one mapping anywhere in the system.
+    """
+    if usage is None:
+        usage = build_frame_usage(dump)
+    page = dump.host.page_size
+    totals: Dict[MemoryCategory, int] = defaultdict(int)
+    shared: Dict[MemoryCategory, int] = defaultdict(int)
+    for mappings in usage.values():
+        frame_shared = len(mappings) > 1
+        for mapping in mappings:
+            if mapping.category is None:
+                continue
+            totals[mapping.category] += page
+            if frame_shared:
+                shared[mapping.category] += page
+    return {
+        category: (totals[category], shared.get(category, 0))
+        for category in totals
+    }

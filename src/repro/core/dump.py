@@ -1,0 +1,192 @@
+"""System-dump collection: the paper's §II.B measurement tooling.
+
+The analysis never looks at the live system.  It consumes dumps:
+
+* a **crash dump of the host OS** (the host runs a debug kernel so
+  crash(8) can walk its page tables) — per-host-process vpn → frame maps;
+* **KVM state** retrieved by a host kernel module from the
+  ``private_data`` of each VM process's ``kvm-vm`` device — the memslot
+  arrays (gfn → host vpn);
+* a **virsh dump of each guest VM** (guests also run debug kernels) —
+  guest process page tables, VMA tables with the JVM debug tags, and the
+  guest kernel's gfn-ownership map.
+
+:func:`collect_system_dump` gathers all three layers into a
+:class:`SystemDump`.  Collection fails loudly when a kernel is not a debug
+build, matching the real tooling's requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.guestos.kernel import GuestKernel, PageOwner
+from repro.hypervisor.kvm import KvmGuestVm, KvmHost, MemSlot
+
+
+class DumpUnanalyzableError(Exception):
+    """A kernel without debug info cannot be analysed by crash(8)."""
+
+
+@dataclass(frozen=True)
+class VmaRecord:
+    """One VMA as recorded in the guest dump."""
+
+    start_vpn: int
+    npages: int
+    tag: str
+    file_id: Optional[str] = None
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.npages
+
+
+@dataclass
+class GuestProcessDump:
+    """One guest process: its page table and VMA map."""
+
+    pid: int
+    name: str
+    page_table: Dict[int, int]  # vpn -> gfn
+    vmas: List[VmaRecord]
+
+    @property
+    def is_java(self) -> bool:
+        """Java processes are identified by their JVM VMAs."""
+        return any(vma.tag.startswith("java:") for vma in self.vmas)
+
+    def vma_of(self, vpn: int) -> Optional[VmaRecord]:
+        for vma in self.vmas:
+            if vma.start_vpn <= vpn < vma.end_vpn:
+                return vma
+        return None
+
+
+@dataclass
+class GuestDump:
+    """virsh dump of one guest VM plus its KVM memslots."""
+
+    vm_name: str
+    vm_index: int
+    memslots: List[MemSlot]
+    processes: List[GuestProcessDump]
+    gfn_owners: Dict[int, PageOwner]
+    guest_npages: int
+
+    def translate_gfn(self, gfn: int) -> Optional[int]:
+        for slot in self.memslots:
+            if slot.contains(gfn):
+                return slot.to_host_vpn(gfn)
+        return None
+
+
+@dataclass
+class HostDump:
+    """Crash dump of the host: per-process page tables (vpn → frame id)."""
+
+    page_size: int
+    page_tables: Dict[str, Dict[int, int]]
+
+    def frame_of(self, table_name: str, vpn: int) -> Optional[int]:
+        table = self.page_tables.get(table_name)
+        if table is None:
+            return None
+        return table.get(vpn)
+
+
+@dataclass
+class SystemDump:
+    """All translation layers, frozen at collection time."""
+
+    host: HostDump
+    guests: List[GuestDump]
+    #: frame id -> content token, for zero-page and dedup diagnostics.
+    frame_tokens: Dict[int, int] = field(default_factory=dict)
+
+    def guest(self, vm_name: str) -> GuestDump:
+        for guest in self.guests:
+            if guest.vm_name == vm_name:
+                return guest
+        raise KeyError(f"no guest {vm_name!r} in dump")
+
+
+def read_kvm_memslots(vm: KvmGuestVm) -> List[MemSlot]:
+    """What the paper's host kernel module does: pull the memslot array
+    out of the ``kvm-vm`` device's ``private_data``."""
+    return list(vm.device.private_data["memslots"])
+
+
+def dump_guest(
+    vm: KvmGuestVm, kernel: GuestKernel, vm_index: int
+) -> GuestDump:
+    """Take a virsh dump of one guest (requires a debug guest kernel)."""
+    if not kernel.debug_kernel:
+        raise DumpUnanalyzableError(
+            f"guest {vm.name!r} runs a non-debug kernel; crash(8) cannot "
+            "walk its page tables (install the debuginfo kernel)"
+        )
+    processes = []
+    for process in kernel.processes:
+        vmas = [
+            VmaRecord(
+                vma.start_vpn,
+                vma.npages,
+                vma.tag,
+                vma.backing.file_id if vma.backing else None,
+            )
+            for vma in process.vmas
+        ]
+        processes.append(
+            GuestProcessDump(
+                pid=process.pid,
+                name=process.name,
+                page_table=process.page_table.snapshot(),
+                vmas=vmas,
+            )
+        )
+    return GuestDump(
+        vm_name=vm.name,
+        vm_index=vm_index,
+        memslots=read_kvm_memslots(vm),
+        processes=processes,
+        gfn_owners=kernel.owners_snapshot(),
+        guest_npages=vm.guest_npages,
+    )
+
+
+def collect_system_dump(
+    host: KvmHost,
+    kernels: Dict[str, GuestKernel],
+    host_debug_kernel: bool = True,
+) -> SystemDump:
+    """Collect the full three-layer dump for a KVM host.
+
+    ``kernels`` maps guest VM name → its :class:`GuestKernel` (the virsh
+    dump source).  Guests without an entry are skipped (their memory shows
+    up only as VM-process pages).
+    """
+    if not host_debug_kernel:
+        raise DumpUnanalyzableError(
+            "the host runs a non-debug kernel; crash(8) cannot analyse "
+            "the host crash dump"
+        )
+    page_tables: Dict[str, Dict[int, int]] = {}
+    frame_tokens: Dict[int, int] = {}
+    guests: List[GuestDump] = []
+    for index, vm in enumerate(host.guests):
+        page_tables[vm.page_table.name] = vm.page_table.snapshot()
+        for _vpn, fid in vm.page_table.entries():
+            if fid not in frame_tokens:
+                frame = host.physmem.frame(fid)
+                if frame is not None:
+                    frame_tokens[fid] = frame.token
+        kernel = kernels.get(vm.name)
+        if kernel is not None:
+            guests.append(dump_guest(vm, kernel, index))
+    return SystemDump(
+        host=HostDump(page_size=host.page_size, page_tables=page_tables),
+        guests=guests,
+        frame_tokens=frame_tokens,
+    )

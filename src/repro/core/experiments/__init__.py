@@ -1,0 +1,38 @@
+"""Experiment drivers, one per figure of the paper."""
+
+from repro.core.experiments.testbed import (
+    GuestSpec,
+    KvmTestbed,
+    MeasurementResult,
+    TestbedConfig,
+    scale_workload,
+)
+from repro.core.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.core.experiments.powervm import PowerVmResult, run_powervm_experiment
+from repro.core.experiments.consolidation import (
+    ConsolidationPoint,
+    ConsolidationResult,
+    run_daytrader_consolidation,
+    run_specj_consolidation,
+)
+
+__all__ = [
+    "GuestSpec",
+    "KvmTestbed",
+    "MeasurementResult",
+    "TestbedConfig",
+    "scale_workload",
+    "SCENARIOS",
+    "ScenarioResult",
+    "run_scenario",
+    "PowerVmResult",
+    "run_powervm_experiment",
+    "ConsolidationPoint",
+    "ConsolidationResult",
+    "run_daytrader_consolidation",
+    "run_specj_consolidation",
+]

@@ -1,0 +1,117 @@
+"""The paper's breakdown scenarios (Figs. 2–5).
+
+Three guest-VM arrangements appear in the paper:
+
+* ``daytrader4`` — four 1 GB guests, each running WAS + DayTrader
+  (Figs. 2, 3(a), 4, 5(a));
+* ``mixed3`` — three guests running DayTrader, SPECjEnterprise 2010 and
+  TPC-W in the same WAS version (Figs. 3(b), 5(b)); the SPECj guest has
+  1.25 GB of memory (Table II);
+* ``tuscany3`` — three guests each running a standalone Tuscany server
+  with the bigbank demo (Figs. 3(c), 5(c)).
+
+Each runs either without class sharing (the baseline) or with the paper's
+shared-copy cache deployment; the same driver serves the "before" and
+"after" figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config import Benchmark
+from repro.core.accounting import OwnerAccounting
+from repro.core.breakdown import JavaBreakdown, VmBreakdown
+from repro.core.experiments.testbed import (
+    GuestSpec,
+    KvmTestbed,
+    MeasurementResult,
+    TestbedConfig,
+    scale_kernel_profile,
+    scale_workload,
+)
+from repro.core.preload import CacheDeployment
+from repro.ksm.stats import KsmStats
+from repro.units import GiB
+from repro.workloads.base import build_workload
+
+SCENARIOS = ("daytrader4", "mixed3", "tuscany3")
+
+
+@dataclass
+class ScenarioResult:
+    """Output of one breakdown scenario run."""
+
+    scenario: str
+    deployment: CacheDeployment
+    vm_breakdown: VmBreakdown
+    java_breakdown: JavaBreakdown
+    accounting: OwnerAccounting
+    ksm_stats: KsmStats
+
+
+def _guest_specs(scenario: str, scale: float) -> List[GuestSpec]:
+    def guest(name: str, benchmark: Benchmark, memory: int) -> GuestSpec:
+        workload = scale_workload(build_workload(benchmark), scale)
+        return GuestSpec(name, max(1, int(memory * scale)), workload)
+
+    if scenario == "daytrader4":
+        return [
+            guest(f"vm{i}", Benchmark.DAYTRADER, 1 * GiB) for i in range(1, 5)
+        ]
+    if scenario == "mixed3":
+        return [
+            guest("vm1", Benchmark.DAYTRADER, 1 * GiB),
+            guest("vm2", Benchmark.SPECJENTERPRISE, int(1.25 * GiB)),
+            guest("vm3", Benchmark.TPCW, 1 * GiB),
+        ]
+    if scenario == "tuscany3":
+        return [
+            guest(f"vm{i}", Benchmark.TUSCANY_BIGBANK, 1 * GiB)
+            for i in range(1, 4)
+        ]
+    raise ValueError(
+        f"unknown scenario {scenario!r}; choose one of {SCENARIOS}"
+    )
+
+
+def run_scenario(
+    scenario: str,
+    deployment: CacheDeployment = CacheDeployment.NONE,
+    scale: float = 1.0,
+    measurement_ticks: Optional[int] = None,
+    seed: int = 20130421,
+) -> ScenarioResult:
+    """Build, run and analyse one breakdown scenario.
+
+    ``scale`` < 1 shrinks every byte quantity proportionally (for tests);
+    the figures run at scale 1.0, the paper's actual sizes.
+    """
+    specs = _guest_specs(scenario, scale)
+    config = TestbedConfig(
+        deployment=deployment,
+        kernel_profile=scale_kernel_profile(scale),
+        seed=seed,
+        scale=scale,
+    )
+    if scale < 1.0:
+        config.host_ram_bytes = max(
+            int(config.host_ram_bytes * scale), 64 * 1024 * 1024
+        )
+        config.host_kernel_bytes = int(config.host_kernel_bytes * scale)
+        config.qemu_overhead_bytes = max(
+            1 << 16, int(config.qemu_overhead_bytes * scale)
+        )
+    if measurement_ticks is not None:
+        config.measurement_ticks = measurement_ticks
+    testbed = KvmTestbed(specs, config)
+    result = testbed.measure()
+    return ScenarioResult(
+        scenario=scenario,
+        deployment=deployment,
+        vm_breakdown=result.vm_breakdown,
+        java_breakdown=result.java_breakdown,
+        accounting=result.accounting,
+        ksm_stats=result.ksm_stats,
+    )

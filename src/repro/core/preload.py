@@ -1,0 +1,140 @@
+"""Class-preloading deployment: the paper's technique (§IV).
+
+The mechanism is operational, not a JVM change: configure the JVM to keep
+its shared class cache in a **persistent memory-mapped file**, populate the
+file once (a cold run of the middleware while preparing the base disk
+image — or ship it with the middleware), then **copy that file into every
+guest VM**.  Every JVM then maps byte-identical class pages at identical
+offsets, and the hypervisor's TPS merges them.
+
+Three deployments are modelled, matching the paper plus its implicit
+baselines:
+
+* :attr:`CacheDeployment.NONE` — ``-Xshareclasses`` off; classes load
+  privately (the Figs. 2–3 baseline).
+* :attr:`CacheDeployment.PER_VM` — each VM populates its own cache (what
+  naive WAS defaults give you): class layout then still differs per VM and
+  TPS gains nothing — the ablation that shows *copying* is the point.
+* :attr:`CacheDeployment.SHARED_COPY` — one pre-populated cache file
+  copied to all VMs (the paper's approach, Figs. 4–8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.guestos.pagecache import BackingFile
+from repro.jvm.jvm import AttachedCache, populate_cache
+from repro.jvm.sharedcache import SharedClassCache
+from repro.sim.rng import RngFactory
+from repro.workloads.base import Workload
+
+
+class CacheDeployment(enum.Enum):
+    """How shared class caches are provisioned across guest VMs."""
+
+    NONE = "none"
+    PER_VM = "per-vm"
+    SHARED_COPY = "shared-copy"
+
+
+@dataclass
+class BaseImageCache:
+    """A cache baked into a base disk image: layout + master file."""
+
+    layout: SharedClassCache
+    master_file: BackingFile
+
+    def copy_for_vm(self, vm_name: str) -> AttachedCache:
+        """The file as it appears inside one guest VM.
+
+        The copy has its own path (file id) but byte-identical content, so
+        its page-cache pages in every VM carry the same tokens — the
+        property TPS needs.
+        """
+        backing = self.master_file.copy_as(
+            f"{vm_name}:/opt/IBM/WebSphere/javasharedresources/"
+            f"{self.layout.name}"
+        )
+        return AttachedCache(layout=self.layout, backing=backing)
+
+
+def build_cache_for_image(
+    workload: Workload,
+    page_size: int,
+    rng: RngFactory,
+    creator_id: str = "base-image-builder",
+    jvm_build_id: str = "ibm-j9-java6-sr9",
+) -> BaseImageCache:
+    """The image-preparation cold run: populate and persist a cache.
+
+    This is what the datacenter administrator (or the middleware vendor)
+    does once per base image (§IV.C): start the middleware with
+    ``-Xshareclasses`` against an empty cache, let it load its classes,
+    and keep the resulting file.
+    """
+    layout = populate_cache(
+        workload.universe(),
+        workload.jvm_config.with_sharing(True),
+        page_size,
+        creator_id=creator_id,
+        rng=rng,
+        jvm_build_id=jvm_build_id,
+    )
+    master = layout.as_backing_file(
+        f"base-image:/javasharedresources/{layout.name}"
+    )
+    return BaseImageCache(layout=layout, master_file=master)
+
+
+class CacheProvisioner:
+    """Hands each guest VM its cache according to the deployment."""
+
+    def __init__(
+        self,
+        deployment: CacheDeployment,
+        page_size: int,
+        rng: RngFactory,
+        jvm_build_id: str = "ibm-j9-java6-sr9",
+    ) -> None:
+        self.deployment = deployment
+        self.page_size = page_size
+        self.rng = rng
+        self.jvm_build_id = jvm_build_id
+        self._base_caches: Dict[Tuple[str, str], BaseImageCache] = {}
+
+    def cache_for(
+        self, workload: Workload, vm_name: str
+    ) -> Optional[AttachedCache]:
+        """The cache the named VM's JVM should attach (None for NONE)."""
+        if self.deployment is CacheDeployment.NONE:
+            return None
+        if self.deployment is CacheDeployment.SHARED_COPY:
+            key = (
+                workload.profile.middleware_id,
+                workload.jvm_config.cache_name,
+            )
+            base = self._base_caches.get(key)
+            if base is None:
+                base = build_cache_for_image(
+                    workload, self.page_size, self.rng,
+                    jvm_build_id=self.jvm_build_id,
+                )
+                self._base_caches[key] = base
+            return base.copy_for_vm(vm_name)
+        # PER_VM: the VM populates its own cache on first start; layout and
+        # header content are both unique to this VM.
+        layout = populate_cache(
+            workload.universe(),
+            workload.jvm_config.with_sharing(True),
+            self.page_size,
+            creator_id=vm_name,
+            rng=self.rng,
+            jvm_build_id=self.jvm_build_id,
+        )
+        backing = layout.as_backing_file(
+            f"{vm_name}:/local/javasharedresources/{layout.name}"
+        )
+        return AttachedCache(layout=layout, backing=backing)

@@ -1,0 +1,115 @@
+"""Text rendering of experiment results in the shape of the paper's figures.
+
+Every benchmark prints its figure through these helpers so the harness
+output can be eyeballed against the paper: same rows, same series, values
+in MB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.core.breakdown import JavaBreakdown, VmBreakdown, VM_GROUPS
+from repro.core.categories import (
+    FIGURE_ORDER,
+    MemoryCategory,
+    WORK_GROUP,
+)
+from repro.units import MiB
+
+
+def fmt_mb(num_bytes: float) -> str:
+    return f"{num_bytes / MiB:8.1f}"
+
+
+_GROUP_LABELS = {
+    "java": "Java Web application server",
+    "other_processes": "Other user processes",
+    "guest_kernel": "Guest kernel",
+    "guest_vm": "Guest VM",
+}
+
+
+def render_vm_breakdown(breakdown: VmBreakdown, title: str) -> str:
+    """Fig. 2 / Fig. 4: per-VM physical usage and TPS savings, in MB."""
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'VM':<8}" + "".join(f"{_GROUP_LABELS[g][:18]:>20}" for g in VM_GROUPS)
+        + f"{'usage total':>14}{'TPS saving':>12}"
+    )
+    lines.append(header)
+    for row in breakdown.rows:
+        cells = "".join(
+            fmt_mb(row.usage_bytes[group]).rjust(20) for group in VM_GROUPS
+        )
+        lines.append(
+            f"{row.vm_name:<8}{cells}"
+            f"{fmt_mb(row.total_usage()):>14}{fmt_mb(row.total_shared()):>12}"
+        )
+    lines.append(
+        f"{'TOTAL':<8}{'':>80}"
+        f"{fmt_mb(breakdown.total_usage()):>14}"
+        f"{fmt_mb(breakdown.total_shared()):>12}"
+    )
+    return "\n".join(lines)
+
+
+#: The figure's merged series: work areas combined, stacks last.
+_FIGURE_SERIES: Tuple[Tuple[str, Tuple[MemoryCategory, ...]], ...] = (
+    ("Code", (MemoryCategory.CODE,)),
+    ("Class metadata", (MemoryCategory.CLASS_METADATA,)),
+    ("JIT-compiled code", (MemoryCategory.JIT_CODE,)),
+    ("JVM and JIT work", WORK_GROUP),
+    ("Java heap", (MemoryCategory.JAVA_HEAP,)),
+    ("Stack", (MemoryCategory.STACK,)),
+)
+
+
+def render_java_breakdown(breakdown: JavaBreakdown, title: str) -> str:
+    """Fig. 3 / Fig. 5: per-JVM category bars; 'shared' in parentheses."""
+    lines = [title, "=" * len(title)]
+    header = f"{'process':<16}" + "".join(
+        f"{name:>24}" for name, _ in _FIGURE_SERIES
+    ) + f"{'total':>12}"
+    lines.append(header)
+    for row in breakdown.rows:
+        cells = []
+        for _name, categories in _FIGURE_SERIES:
+            total = sum(row.category(c).total_bytes for c in categories)
+            shared = sum(row.category(c).shared_bytes for c in categories)
+            cells.append(
+                f"{total / MiB:10.1f} ({shared / MiB:7.1f})".rjust(24)
+            )
+        label = f"{row.vm_name}:pid{row.pid}"
+        lines.append(
+            f"{label:<16}" + "".join(cells)
+            + f"{row.total_bytes() / MiB:12.1f}"
+        )
+    lines.append("(values are MB mapped; parentheses: MB shared with TPS)")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    y_format: str = "{:10.1f}",
+) -> str:
+    """Fig. 6/7/8-style tables: one row per x, one column per series."""
+    lines = [title, "=" * len(title)]
+    names = list(series.keys())
+    lines.append(f"{x_label:<22}" + "".join(f"{n:>24}" for n in names))
+    for index, x in enumerate(xs):
+        row = f"{str(x):<22}"
+        for name in names:
+            row += y_format.format(series[name][index]).rjust(24)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable[Tuple[str, str]]) -> str:
+    lines = [title, "=" * len(title)]
+    for key, value in pairs:
+        lines.append(f"  {key:<44} {value}")
+    return "\n".join(lines)

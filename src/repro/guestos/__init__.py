@@ -1,0 +1,20 @@
+"""Guest operating system model: kernel, page cache, processes, malloc."""
+
+from repro.guestos.kernel import GuestKernel, KernelProfile, PageOwner, OwnerKind
+from repro.guestos.pagecache import BackingFile, PageCache
+from repro.guestos.process import GuestProcess, Vma
+from repro.guestos.malloc import MallocModel, MallocBlock, MMAP_THRESHOLD
+
+__all__ = [
+    "GuestKernel",
+    "KernelProfile",
+    "PageOwner",
+    "OwnerKind",
+    "BackingFile",
+    "PageCache",
+    "GuestProcess",
+    "Vma",
+    "MallocModel",
+    "MallocBlock",
+    "MMAP_THRESHOLD",
+]

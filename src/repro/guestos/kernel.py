@@ -1,0 +1,269 @@
+"""The guest kernel: guest-physical frame management and kernel memory.
+
+The kernel owns the guest-physical address space.  Every allocated gfn is
+labelled with a :class:`PageOwner` saying *who* uses the page (kernel,
+page cache, an anonymous process page, or free), which is the information
+the paper's analyzer extracts from guest crash dumps ("memory management
+information collected from the OS", §III.A).
+
+The kernel's own memory is split the way the paper's Fig. 2 discussion
+needs: a portion that is byte-identical across guests booted from the same
+base image (kernel text, read-only data, page cache of clean base-image
+files — about half of the 219 MB kernel area merges across VMs) and a
+per-guest private portion (slabs, buffers, dirty data).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.guestos.pagecache import BackingFile, PageCache
+from repro.hypervisor.base import GuestVmBase
+from repro.sim.rng import RngFactory, stable_hash64
+from repro.units import MiB, pages_for
+
+if TYPE_CHECKING:
+    from repro.guestos.process import GuestProcess
+
+
+class OwnerKind(enum.Enum):
+    """Who a guest-physical page belongs to."""
+
+    KERNEL = "kernel"
+    PAGE_CACHE = "page_cache"
+    PROCESS_ANON = "process_anon"
+    FREE = "free"
+
+
+@dataclass
+class PageOwner:
+    """Ownership record for one gfn."""
+
+    kind: OwnerKind
+    pid: Optional[int] = None  # for PROCESS_ANON
+    tag: str = ""  # component/category label or file id
+
+
+@dataclass
+class KernelProfile:
+    """Sizes of the kernel-memory constituents.
+
+    ``code_bytes`` and ``shared_pagecache_bytes`` are identical across
+    guests booted from the same image (``image_id``); the rest is private.
+    Defaults are calibrated to the paper's Fig. 2: 219 MB kernel area per
+    guest of which ≈106 MB (≈50 %) merges across identical guests.
+    """
+
+    image_id: str = "rhel5.5-base"
+    code_bytes: int = 10 * MiB
+    shared_pagecache_bytes: int = 96 * MiB
+    private_data_bytes: int = 77 * MiB
+    buffers_bytes: int = 36 * MiB
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.code_bytes
+            + self.shared_pagecache_bytes
+            + self.private_data_bytes
+            + self.buffers_bytes
+        )
+
+
+class OutOfGuestMemoryError(Exception):
+    """The guest has no free guest-physical pages left."""
+
+
+class GuestKernel:
+    """Guest OS kernel for one VM (KVM guest or PowerVM LPAR)."""
+
+    def __init__(
+        self,
+        vm: GuestVmBase,
+        rng: RngFactory,
+        debug_kernel: bool = True,
+        pid_base: Optional[int] = None,
+    ) -> None:
+        self.vm = vm
+        self.rng = rng
+        #: The paper needs debug kernels so crash(8) can analyse the dumps;
+        #: the dump collector refuses non-debug kernels the same way.
+        self.debug_kernel = debug_kernel
+        self.page_size = vm.host.page_size if hasattr(vm, "host") else None
+        if self.page_size is None:
+            raise ValueError("guest VM must expose host.page_size")
+        self._npages = pages_for(vm.guest_memory_bytes, self.page_size)
+        self._next_gfn = 0
+        self._free_gfns: List[int] = []
+        self._owners: Dict[int, PageOwner] = {}
+        self.page_cache = PageCache(self)
+        self._processes: Dict[int, "GuestProcess"] = {}
+        if pid_base is None:
+            pid_base = 300 + rng.stream("pid-base").randrange(0, 2000)
+        self._next_pid = pid_base
+        self._kernel_pages: Dict[str, List[int]] = {}
+        self._booted = False
+
+    # ------------------------------------------------------------------
+    # Guest-physical allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def total_pages(self) -> int:
+        return self._npages
+
+    def alloc_gfn(self, owner: PageOwner) -> int:
+        """Allocate one guest-physical page and record its owner."""
+        if self._free_gfns:
+            gfn = self._free_gfns.pop()
+        else:
+            if self._next_gfn >= self._npages:
+                raise OutOfGuestMemoryError(
+                    f"{self.vm.name}: guest memory exhausted "
+                    f"({self._npages} pages)"
+                )
+            gfn = self._next_gfn
+            self._next_gfn += 1
+        self._owners[gfn] = owner
+        return gfn
+
+    def alloc_gfn_for_pagecache(self, file_id: str) -> int:
+        return self.alloc_gfn(PageOwner(OwnerKind.PAGE_CACHE, tag=file_id))
+
+    def free_gfn(self, gfn: int) -> None:
+        """Return a gfn to the free list.
+
+        The host backing is *not* released (no ballooning): the stale
+        content keeps occupying a host frame, exactly as on real KVM.
+        """
+        owner = self._owners.get(gfn)
+        if owner is None or owner.kind is OwnerKind.FREE:
+            raise ValueError(f"gfn {gfn:#x} is not allocated")
+        self._owners[gfn] = PageOwner(OwnerKind.FREE)
+        self._free_gfns.append(gfn)
+
+    def owner_of(self, gfn: int) -> Optional[PageOwner]:
+        return self._owners.get(gfn)
+
+    def allocated_pages(self) -> int:
+        return sum(
+            1
+            for owner in self._owners.values()
+            if owner.kind is not OwnerKind.FREE
+        )
+
+    def owners_snapshot(self) -> Dict[int, PageOwner]:
+        """Copy of the gfn-ownership map (collected into guest dumps)."""
+        return {
+            gfn: PageOwner(owner.kind, owner.pid, owner.tag)
+            for gfn, owner in self._owners.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Kernel memory
+    # ------------------------------------------------------------------
+
+    def boot(self, profile: Optional[KernelProfile] = None) -> None:
+        """Bring up the kernel: touch its code, data, caches and buffers."""
+        if self._booted:
+            raise RuntimeError(f"{self.vm.name}: kernel already booted")
+        profile = profile or KernelProfile()
+        self.profile = profile
+        # Kernel text + read-only data: identical across guests running the
+        # same image.
+        self._touch_kernel_area(
+            "code",
+            profile.code_bytes,
+            lambda i: stable_hash64("kimage", profile.image_id, "text", i),
+        )
+        # Page cache of clean base-image files: identical across guests,
+        # and — going through the real page cache — evictable under
+        # memory pressure (the reclaim a balloon driver triggers).
+        boot_files = BackingFile(
+            f"{profile.image_id}:bootfs",
+            profile.shared_pagecache_bytes,
+            self.page_size,
+        )
+        cache_gfns = [
+            self.page_cache.page_gfn(boot_files, index)
+            for index in range(boot_files.npages)
+        ]
+        self._kernel_pages["pagecache"] = cache_gfns
+        # Private, per-guest kernel data (slabs, task structs, dirty pages).
+        private_stream = self.rng.stream("kernel-private", self.vm.name)
+        self._touch_kernel_area(
+            "data",
+            profile.private_data_bytes,
+            lambda i: stable_hash64(
+                "kdata", self.vm.name, i, private_stream.getrandbits(32)
+            ),
+        )
+        buffer_stream = self.rng.stream("kernel-buffers", self.vm.name)
+        self._touch_kernel_area(
+            "buffers",
+            profile.buffers_bytes,
+            lambda i: stable_hash64(
+                "kbuf", self.vm.name, i, buffer_stream.getrandbits(32)
+            ),
+        )
+        self._booted = True
+
+    def _touch_kernel_area(
+        self, tag: str, num_bytes: int, token_fn, kind: OwnerKind = OwnerKind.KERNEL
+    ) -> None:
+        gfns: List[int] = []
+        for index in range(pages_for(num_bytes, self.page_size)):
+            gfn = self.alloc_gfn(PageOwner(kind, tag=f"kernel:{tag}"))
+            self.vm.write_gfn(gfn, token_fn(index))
+            gfns.append(gfn)
+        self._kernel_pages[tag] = gfns
+
+    def kernel_area_pages(self, tag: str) -> List[int]:
+        return list(self._kernel_pages.get(tag, []))
+
+    def kernel_resident_bytes(self) -> int:
+        """Kernel-owned memory including buffers and caches (Fig. 2 bar).
+
+        Combines the boot-time kernel areas with all page-cache pages (the
+        boot-image cache plus pages pulled in by process file access).
+        """
+        boot_pages = sum(
+            len(gfns)
+            for tag, gfns in self._kernel_pages.items()
+            if tag != "pagecache"  # lives in the page cache, counted below
+        )
+        return (boot_pages + self.page_cache.cached_pages) * self.page_size
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str) -> "GuestProcess":
+        """Create a user process; pids increase monotonically per guest."""
+        from repro.guestos.process import GuestProcess
+
+        pid = self._next_pid
+        self._next_pid += 1
+        process = GuestProcess(self, pid, name)
+        self._processes[pid] = process
+        return process
+
+    def process(self, pid: int) -> "GuestProcess":
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> List["GuestProcess"]:
+        return list(self._processes.values())
+
+    def exit_process(self, process: "GuestProcess") -> None:
+        """Terminate a process: unmap everything, free its anon pages."""
+        process.release_all()
+        self._processes.pop(process.pid, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"GuestKernel(vm={self.vm.name!r}, "
+            f"allocated={self.allocated_pages()} pages)"
+        )

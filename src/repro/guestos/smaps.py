@@ -1,0 +1,54 @@
+"""``/proc/<pid>/smaps``-style reporting inside one guest.
+
+The paper contrasts two policies for attributing shared pages (§II.A):
+Linux's PSS divides each shared page among its sharers — the
+*distribution-oriented* approach — while the paper prefers an
+*owner-oriented* one.  This module provides the in-guest PSS view (sharing
+via the guest page cache); the cross-VM, host-level version of both
+policies lives in :mod:`repro.core.accounting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.guestos.kernel import GuestKernel
+
+
+@dataclass
+class SmapsEntry:
+    """Per-process memory summary, in bytes."""
+
+    rss: int = 0
+    pss: float = 0.0
+    shared: int = 0  # resident pages mapped by >1 process
+    private: int = 0  # resident pages mapped by exactly this process
+
+
+def smaps_report(kernel: GuestKernel) -> Dict[int, SmapsEntry]:
+    """Compute Rss/Pss/Shared/Private for every process in the guest.
+
+    Sharing is counted at the guest-physical level: a page-cache gfn mapped
+    by three processes contributes ``page_size / 3`` to each PSS, exactly
+    like the kernel's smaps accounting.
+    """
+    page_size = kernel.page_size
+    mapcount: Dict[int, int] = {}
+    for process in kernel.processes:
+        for _vpn, gfn, _vma in process.iter_mapped():
+            mapcount[gfn] = mapcount.get(gfn, 0) + 1
+
+    report: Dict[int, SmapsEntry] = {}
+    for process in kernel.processes:
+        entry = SmapsEntry()
+        for _vpn, gfn, _vma in process.iter_mapped():
+            count = mapcount[gfn]
+            entry.rss += page_size
+            entry.pss += page_size / count
+            if count > 1:
+                entry.shared += page_size
+            else:
+                entry.private += page_size
+        report[process.pid] = entry
+    return report

@@ -1,0 +1,13 @@
+"""Hypervisors: KVM (process-VM model) and PowerVM (system-VM model)."""
+
+from repro.hypervisor.kvm import KvmHost, KvmGuestVm, KvmVmDevice, MemSlot
+from repro.hypervisor.powervm import PowerVmHost, PowerVmGuest
+
+__all__ = [
+    "KvmHost",
+    "KvmGuestVm",
+    "KvmVmDevice",
+    "MemSlot",
+    "PowerVmHost",
+    "PowerVmGuest",
+]

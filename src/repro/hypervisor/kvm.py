@@ -1,0 +1,302 @@
+"""KVM: a process-VM hypervisor.
+
+Each guest VM is a process of the host OS (QEMU).  Guest physical memory is
+a range of the VM process's virtual address space; the mapping from guest
+frame numbers (gfn) to host virtual pages is kept in **memory slots**, which
+live — as in real KVM — in the ``private_data`` of the ``kvm-vm`` device
+file the VM process opened.  The paper's measurement tooling retrieves the
+slots from there via a host kernel module (§II.B.2); our simulated
+:class:`KvmVmDevice` reproduces that interface so the analysis pipeline in
+:mod:`repro.core.dump` can do the same.
+
+Three translation layers therefore exist, and all three are walked by the
+analyzer:
+
+1. guest process page tables: guest vpn → gfn (owned by the guest OS);
+2. memslots: gfn → host vpn of the QEMU process;
+3. host page tables: host vpn → host physical frame (rewritten by KSM).
+
+QEMU itself also uses memory that is *not* guest memory (device emulation
+buffers, its own heap); the paper accounts those pages "as the pages used
+by the guest VM itself" and so do we (``vm_overhead_bytes``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hypervisor.base import GuestVmBase, HypervisorHost
+from repro.ksm.scanner import KsmConfig, KsmScanner
+from repro.mem.address_space import PageTable
+from repro.mem.physmem import HostPhysicalMemory
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngFactory, stable_hash64
+from repro.units import DEFAULT_PAGE_SIZE, pages_for
+
+#: Host-virtual stride between the guest-memory regions of successive VM
+#: processes (in pages).  Large enough that no realistic guest overlaps.
+_VM_REGION_STRIDE_PAGES = 1 << 30
+
+
+@dataclass(frozen=True)
+class MemSlot:
+    """One KVM memory slot: an affine gfn → host-vpn mapping."""
+
+    base_gfn: int
+    npages: int
+    host_base_vpn: int
+
+    def contains(self, gfn: int) -> bool:
+        return self.base_gfn <= gfn < self.base_gfn + self.npages
+
+    def to_host_vpn(self, gfn: int) -> int:
+        if not self.contains(gfn):
+            raise ValueError(f"gfn {gfn:#x} is outside slot {self}")
+        return self.host_base_vpn + (gfn - self.base_gfn)
+
+
+class KvmVmDevice:
+    """The per-VM ``kvm-vm`` device file.
+
+    ``private_data`` holds the internal KVM state, including the memslot
+    array — which is exactly what the paper's host kernel module reads.
+    """
+
+    def __init__(self, vm_name: str) -> None:
+        self.vm_name = vm_name
+        self.private_data: Dict[str, object] = {"memslots": []}
+
+    @property
+    def memslots(self) -> List[MemSlot]:
+        return list(self.private_data["memslots"])  # type: ignore[arg-type]
+
+    def add_memslot(self, slot: MemSlot) -> None:
+        slots: List[MemSlot] = self.private_data["memslots"]  # type: ignore[assignment]
+        slots.append(slot)
+
+    def translate_gfn(self, gfn: int) -> Optional[int]:
+        """gfn → host vpn via the slot array (None when unmapped)."""
+        for slot in self.memslots:
+            if slot.contains(gfn):
+                return slot.to_host_vpn(gfn)
+        return None
+
+
+class KvmGuestVm(GuestVmBase):
+    """A guest VM, i.e. a QEMU process on the host."""
+
+    def __init__(
+        self,
+        host: "KvmHost",
+        name: str,
+        guest_memory_bytes: int,
+        index: int,
+        rng: RngFactory,
+    ) -> None:
+        self.host = host
+        self.name = name
+        self.guest_memory_bytes = guest_memory_bytes
+        self.index = index
+        self.rng = rng
+        self.page_table = PageTable(f"host:qemu-{name}")
+        self.device = KvmVmDevice(name)
+        npages = pages_for(guest_memory_bytes, host.page_size)
+        self._guest_npages = npages
+        host_base = (index + 1) * _VM_REGION_STRIDE_PAGES
+        self._slot = MemSlot(0, npages, host_base)
+        self.device.add_memslot(self._slot)
+        # QEMU's own (non-guest) memory lives above the guest region.
+        self._overhead_base_vpn = host_base + npages + 4096
+        self._overhead_pages = 0
+
+    # ------------------------------------------------------------------
+    # Guest memory access (used by the guest OS layer)
+    # ------------------------------------------------------------------
+
+    @property
+    def guest_npages(self) -> int:
+        return self._guest_npages
+
+    def _host_vpn(self, gfn: int) -> int:
+        if not 0 <= gfn < self._guest_npages:
+            raise ValueError(
+                f"{self.name}: gfn {gfn:#x} outside guest memory "
+                f"({self._guest_npages} pages)"
+            )
+        return self._slot.to_host_vpn(gfn)
+
+    def write_gfn(self, gfn: int, token: int) -> None:
+        self.host.physmem.write_token(
+            self.page_table, self._host_vpn(gfn), token
+        )
+
+    def write_gfn_filebacked(self, gfn: int, token: int) -> None:
+        """Page-cache fill: goes through Satori when the host enables it."""
+        if self.host.satori is not None:
+            self.host.satori.fill_page(
+                self.page_table, self._host_vpn(gfn), token
+            )
+        else:
+            self.write_gfn(gfn, token)
+
+    def read_gfn(self, gfn: int) -> Optional[int]:
+        return self.host.physmem.read_token(
+            self.page_table, self._host_vpn(gfn)
+        )
+
+    def host_frame_of_gfn(self, gfn: int) -> Optional[int]:
+        return self.page_table.translate(self._host_vpn(gfn))
+
+    def release_gfn(self, gfn: int) -> None:
+        """Discard the host backing of ``gfn`` (guest freed + ballooned)."""
+        vpn = self._host_vpn(gfn)
+        if self.page_table.is_mapped(vpn):
+            self.host.physmem.unmap(self.page_table, vpn)
+
+    # ------------------------------------------------------------------
+    # QEMU overhead (non-guest memory of the VM process)
+    # ------------------------------------------------------------------
+
+    def allocate_overhead(self, num_bytes: int, tag: str = "qemu") -> None:
+        """Touch ``num_bytes`` of QEMU-private memory (device state, heap).
+
+        Contents are process-private, so these pages never merge — matching
+        the paper's small "guest VM" bars in Fig. 2.
+        """
+        stream = self.rng.stream("qemu-overhead", self.name, tag)
+        npages = pages_for(num_bytes, self.host.page_size)
+        for _ in range(npages):
+            vpn = self._overhead_base_vpn + self._overhead_pages
+            token = stable_hash64(
+                "qemu", self.name, tag, self._overhead_pages,
+                stream.getrandbits(32),
+            )
+            self.host.physmem.write_token(self.page_table, vpn, token)
+            self._overhead_pages += 1
+
+    @property
+    def vm_overhead_bytes(self) -> int:
+        return self._overhead_pages * self.host.page_size
+
+    def guest_memory_host_vpns(self):
+        """Iterate host vpns of currently backed guest-memory pages."""
+        limit = self._slot.host_base_vpn + self._guest_npages
+        for vpn, _ in self.page_table.entries():
+            if self._slot.host_base_vpn <= vpn < limit:
+                yield vpn
+
+    def resident_bytes(self) -> int:
+        """Host-mapped bytes of the whole VM process (guest + overhead)."""
+        return len(self.page_table) * self.host.page_size
+
+    def __repr__(self) -> str:
+        return (
+            f"KvmGuestVm({self.name!r}, "
+            f"guest={self.guest_memory_bytes >> 20} MiB)"
+        )
+
+
+class KvmHost(HypervisorHost):
+    """A physical host running the KVM hypervisor and the KSM scanner."""
+
+    def __init__(
+        self,
+        ram_bytes: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        ksm_config: Optional[KsmConfig] = None,
+        seed: int = 20130421,  # ISPASS 2013 started April 21
+        host_kernel_bytes: int = 0,
+    ) -> None:
+        self.page_size = page_size
+        self.clock = SimClock()
+        self.rng = RngFactory(seed)
+        self.physmem = HostPhysicalMemory(ram_bytes, page_size)
+        self.ksm = KsmScanner(self.physmem, self.clock, ksm_config)
+        #: Optional Satori-style sharing-aware block device (§VI).
+        self.satori = None
+        self._guests: List[KvmGuestVm] = []
+        self._host_kernel_table = PageTable("host:kernel")
+        self._host_kernel_bytes = 0
+        if host_kernel_bytes:
+            self.allocate_host_kernel(host_kernel_bytes)
+
+    # ------------------------------------------------------------------
+
+    def enable_satori(self):
+        """Turn on the sharing-aware block device for page-cache fills."""
+        from repro.hypervisor.satori import SatoriRegistry
+
+        if self.satori is None:
+            self.satori = SatoriRegistry(self.physmem)
+        return self.satori
+
+    def allocate_host_kernel(self, num_bytes: int) -> None:
+        """Touch host-kernel memory (never a KSM candidate)."""
+        stream = self.rng.stream("host-kernel")
+        start = pages_for(self._host_kernel_bytes, self.page_size)
+        npages = pages_for(num_bytes, self.page_size)
+        for offset in range(npages):
+            token = stable_hash64(
+                "host-kernel", start + offset, stream.getrandbits(32)
+            )
+            self.physmem.write_token(
+                self._host_kernel_table, start + offset, token
+            )
+        self._host_kernel_bytes += num_bytes
+
+    @property
+    def host_kernel_bytes(self) -> int:
+        return self._host_kernel_bytes
+
+    def create_guest(self, name: str, guest_memory_bytes: int) -> KvmGuestVm:
+        """Create a guest VM process and register its memory with KSM.
+
+        QEMU madvises the whole guest-memory range MERGEABLE, which is why
+        KSM can merge pages *across* guest VMs.
+        """
+        if any(guest.name == name for guest in self._guests):
+            raise ValueError(f"guest {name!r} already exists")
+        vm = KvmGuestVm(
+            self,
+            name,
+            guest_memory_bytes,
+            index=len(self._guests),
+            rng=self.rng.derive("vm", name),
+        )
+        self._guests.append(vm)
+        self.ksm.register(vm.page_table)
+        return vm
+
+    def destroy_guest(self, vm: KvmGuestVm) -> None:
+        """Tear down a guest VM and release all of its host memory."""
+        if vm not in self._guests:
+            raise ValueError(f"guest {vm.name!r} is not on this host")
+        self.ksm.unregister(vm.page_table)
+        for vpn in [v for v, _ in vm.page_table.entries()]:
+            self.physmem.unmap(vm.page_table, vpn)
+        self._guests.remove(vm)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def guests(self) -> List[KvmGuestVm]:
+        return list(self._guests)
+
+    def guest(self, name: str) -> KvmGuestVm:
+        for vm in self._guests:
+            if vm.name == name:
+                return vm
+        raise KeyError(f"no guest named {name!r}")
+
+    def total_physical_usage_bytes(self) -> int:
+        return self.physmem.bytes_in_use
+
+    def run_ksm_for_ms(self, duration_ms: int):
+        return self.ksm.run_for_ms(duration_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"KvmHost(ram={self.physmem.capacity_bytes >> 20} MiB, "
+            f"guests={len(self._guests)})"
+        )

@@ -1,0 +1,6 @@
+"""The JVM memory model: the seven Table-IV components plus class sharing."""
+
+from repro.jvm.sharedcache import SharedClassCache, CacheFullError
+from repro.jvm.jvm import JavaVM
+
+__all__ = ["SharedClassCache", "CacheFullError", "JavaVM"]

@@ -1,0 +1,197 @@
+"""Garbage-collection policy models.
+
+Two of the J9 policies the paper uses:
+
+* :class:`OptThruputGc` — the default flat-heap parallel collector.  A
+  global GC compacts (moves every live object, re-tokenising live pages)
+  and zero-fills the reclaimed tail; allocation between GCs consumes the
+  zeroed space again.  This produces the paper's observation that the only
+  heap pages TPS shares are freshly zeroed ones, and that they are "soon
+  modified and divided" (§III.A: only 0.7 % of the heap shared).
+
+* :class:`GenconGc` — generational-concurrent, used for the
+  SPECjEnterprise consolidation runs (§V.C).  Every tick the nursery
+  scavenge copies survivors between semispaces, so the whole nursery is
+  rewritten continuously and never passes KSM's volatility filter; the
+  tenured area behaves like a slower flat heap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import GcPolicy
+from repro.guestos.process import GuestProcess
+from repro.jvm.heap import HeapArea
+
+
+class HeapModel:
+    """Base: owns the heap areas and exposes the per-tick write stream."""
+
+    def __init__(self, process: GuestProcess) -> None:
+        self.process = process
+        self.areas: List[HeapArea] = []
+        self._epoch = 0
+
+    def initialize(self) -> None:
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        raise NotImplementedError
+
+    def next_epoch(self) -> int:
+        self._epoch += 1
+        return self._epoch
+
+    def resident_bytes(self) -> int:
+        return sum(area.resident_bytes() for area in self.areas)
+
+    def zero_pages(self) -> int:
+        return sum(area.zero_pages for area in self.areas)
+
+
+class OptThruputGc(HeapModel):
+    """Flat heap with periodic compacting global GC."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        heap_bytes: int,
+        touched_fraction: float,
+        zero_tail_bytes: int,
+        dirty_fraction: float,
+        gc_period_ticks: int = 2,
+    ) -> None:
+        super().__init__(process)
+        self.heap = HeapArea(process, "flat", heap_bytes)
+        self.areas = [self.heap]
+        self.touched_fraction = touched_fraction
+        self.zero_tail_pages = zero_tail_bytes // process.page_size
+        self.dirty_fraction_per_tick = dirty_fraction
+        self.gc_period_ticks = gc_period_ticks
+        self._ticks = 0
+        self.gc_count = 0
+
+    def initialize(self) -> None:
+        """First touch: the working set fills up to the steady footprint."""
+        touched = int(self.heap.npages * self.touched_fraction)
+        epoch = self.next_epoch()
+        self.heap.fill_live(0, max(0, touched - self.zero_tail_pages), epoch)
+        # The allocator has just GCed once by steady state: a zeroed tail
+        # sits above the live data.
+        self.heap.fill_live(
+            max(0, touched - self.zero_tail_pages),
+            min(self.zero_tail_pages, touched),
+            epoch,
+        )
+        self.heap.zero_tail(self.zero_tail_pages)
+
+    def tick(self) -> None:
+        """One measurement interval: allocation churn, maybe a global GC."""
+        self._ticks += 1
+        epoch = self.next_epoch()
+        # Allocation consumes most of the zeroed space quickly — the
+        # paper's "these shared areas are soon modified and divided".
+        self.heap.allocate_from_zeros(
+            int(self.heap.zero_pages * 0.8), epoch
+        )
+        # Header writes and ordinary stores dirty part of the live set.
+        self.heap.dirty_fraction(self.dirty_fraction_per_tick, epoch)
+        if self._ticks % self.gc_period_ticks == 0:
+            self.global_gc()
+
+    def global_gc(self) -> None:
+        """Compacting collection: move everything, zero the freed tail."""
+        self.gc_count += 1
+        epoch = self.next_epoch()
+        self.heap.rewrite_live(epoch)
+        self.heap.zero_tail(self.zero_tail_pages)
+
+
+class GenconGc(HeapModel):
+    """Generational heap: churning nursery + slowly collected tenured."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        nursery_bytes: int,
+        tenured_bytes: int,
+        touched_fraction: float,
+        zero_tail_bytes: int,
+        dirty_fraction: float,
+        global_gc_period_ticks: int = 4,
+        nursery_touched_fraction: float = 0.75,
+    ) -> None:
+        super().__init__(process)
+        #: The allocate space plus the in-use survivor semispace; the idle
+        #: semispace tail is only touched at scavenge peaks.
+        self.nursery_touched_fraction = nursery_touched_fraction
+        self.nursery = HeapArea(process, "nursery", nursery_bytes)
+        self.tenured = HeapArea(process, "tenured", tenured_bytes)
+        self.areas = [self.nursery, self.tenured]
+        self.touched_fraction = touched_fraction
+        self.zero_tail_pages = zero_tail_bytes // process.page_size
+        self.dirty_fraction_per_tick = dirty_fraction
+        self.global_gc_period_ticks = global_gc_period_ticks
+        self._ticks = 0
+        self.scavenge_count = 0
+        self.gc_count = 0
+
+    def initialize(self) -> None:
+        epoch = self.next_epoch()
+        # The allocate space and the active survivor semispace see traffic
+        # almost immediately.
+        touched_nursery = int(self.nursery.npages * self.nursery_touched_fraction)
+        self.nursery.fill_live(0, touched_nursery, epoch)
+        touched = int(self.tenured.npages * self.touched_fraction)
+        self.tenured.fill_live(0, touched, epoch)
+
+    def tick(self) -> None:
+        self._ticks += 1
+        self.scavenge()
+        epoch = self.next_epoch()
+        self.tenured.dirty_fraction(self.dirty_fraction_per_tick, epoch)
+        if self._ticks % self.global_gc_period_ticks == 0:
+            self.global_gc()
+
+    def scavenge(self) -> None:
+        """Minor GC: survivors copy between semispaces every scavenge,
+        rewriting the whole nursery — it never stabilises for KSM."""
+        self.scavenge_count += 1
+        epoch = self.next_epoch()
+        self.nursery.rewrite_live(epoch)
+
+    def global_gc(self) -> None:
+        self.gc_count += 1
+        epoch = self.next_epoch()
+        self.tenured.rewrite_live(epoch)
+        self.tenured.zero_tail(self.zero_tail_pages)
+        self.tenured.allocate_from_zeros(
+            int(self.tenured.zero_pages * 0.5), epoch
+        )
+
+
+def build_heap(
+    process: GuestProcess,
+    policy: GcPolicy,
+    heap_bytes: int,
+    touched_fraction: float,
+    zero_tail_bytes: int,
+    dirty_fraction: float,
+    nursery_bytes: Optional[int] = None,
+    tenured_bytes: Optional[int] = None,
+) -> HeapModel:
+    """Construct the heap model matching a :class:`GcPolicy`."""
+    if policy is GcPolicy.OPTTHRUPUT:
+        return OptThruputGc(
+            process, heap_bytes, touched_fraction,
+            zero_tail_bytes, dirty_fraction,
+        )
+    if policy is GcPolicy.GENCON:
+        if nursery_bytes is None or tenured_bytes is None:
+            raise ValueError("gencon needs nursery and tenured sizes")
+        return GenconGc(
+            process, nursery_bytes, tenured_bytes, touched_fraction,
+            zero_tail_bytes, dirty_fraction,
+        )
+    raise ValueError(f"unknown GC policy {policy!r}")

@@ -1,0 +1,233 @@
+"""A multi-tenant JVM: the §VI "Software as a Service" alternative.
+
+Instead of one VM per user, multi-tenancy runs a single middleware
+instance and isolates applications inside it (JSR-121 Application
+Isolation; Sun's MVM/MVM2).  The paper weighs it against the VM-based
+approach:
+
+* **memory**: the middleware (code, class metadata, JIT code, work area)
+  exists once instead of once per VM — usually beating even TPS-preloaded
+  VMs, since writable structures are shared too;
+* **isolation**: a misbehaving application can exhaust shared resources
+  or crash the shared process.  MVM mitigates with per-application memory
+  quotas and by fencing user JNI code into separate service processes
+  (MVM2); both mitigations are modelled here as the ``memory quota`` and
+  ``fault fence`` knobs.
+
+:class:`MultiTenantJavaVM` hosts N tenants in one guest process: one
+shared middleware image plus per-tenant heaps and stacks, with quota
+enforcement and configurable crash blast radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.guestos.process import GuestProcess
+from repro.jvm.gc import OptThruputGc
+from repro.jvm.stacks import ThreadStacks
+from repro.jvm.workarea import JvmWorkArea
+from repro.jvm.codearea import CodeArea
+from repro.jvm.classes import ClassMetadata
+from repro.jvm.jit import JitCompiler
+from repro.guestos.malloc import MallocModel
+from repro.sim.rng import RngFactory
+from repro.units import KiB
+from repro.workloads.classsets import ClassUniverse
+from repro.workloads.profile import WorkloadProfile
+
+
+class TenantQuotaExceededError(Exception):
+    """A tenant tried to allocate beyond its memory quota."""
+
+
+class ProcessCrashedError(Exception):
+    """The shared server process died (an unfenced tenant fault)."""
+
+
+@dataclass
+class TenantSpec:
+    """Resources requested for one tenant application."""
+
+    name: str
+    heap_bytes: int
+    thread_count: int = 2
+    stack_bytes_per_thread: int = 64 * KiB
+
+
+class Tenant:
+    """One application inside the multi-tenant server."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        heap: OptThruputGc,
+        stacks: ThreadStacks,
+    ) -> None:
+        self.spec = spec
+        self.heap = heap
+        self.stacks = stacks
+        self.alive = True
+        self._charged_bytes = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def charge(self, num_bytes: int) -> None:
+        """Account a tenant allocation against its quota (MVM-style)."""
+        if not self.alive:
+            raise ProcessCrashedError(f"tenant {self.name!r} is dead")
+        if self._charged_bytes + num_bytes > self.spec.heap_bytes:
+            raise TenantQuotaExceededError(
+                f"tenant {self.name!r}: {num_bytes} bytes would exceed the "
+                f"{self.spec.heap_bytes}-byte quota"
+            )
+        self._charged_bytes += num_bytes
+
+    @property
+    def charged_bytes(self) -> int:
+        return self._charged_bytes
+
+    def resident_bytes(self) -> int:
+        return self.heap.resident_bytes() + self.stacks.resident_bytes()
+
+
+class MultiTenantJavaVM:
+    """One server process, one middleware image, many applications."""
+
+    def __init__(
+        self,
+        process: GuestProcess,
+        profile: WorkloadProfile,
+        universe: ClassUniverse,
+        rng: RngFactory,
+        fence_tenant_faults: bool = True,
+        jvm_build_id: str = "ibm-j9-java6-sr9",
+    ) -> None:
+        self.process = process
+        self.profile = profile
+        self.universe = universe
+        self.rng = rng
+        #: MVM2-style fencing: tenant faults (bad JNI) kill only the
+        #: tenant's service context, not the shared server.
+        self.fence_tenant_faults = fence_tenant_faults
+        self.malloc = MallocModel(process, rng)
+        self.code = CodeArea(
+            process, jvm_build_id,
+            profile.code_file_bytes, profile.code_data_bytes, rng,
+        )
+        self.classes = ClassMetadata(process, self.malloc, rng)
+        self.jit = JitCompiler(
+            process, rng, profile.jit_code_bytes, profile.jit_work_bytes
+        )
+        self.work = JvmWorkArea(
+            process, rng,
+            benchmark_id=f"mt:{profile.middleware_id}",
+            nio_bytes=profile.nio_buffer_bytes,
+            zero_slack_bytes=profile.zero_slack_bytes,
+            private_bytes=profile.private_work_bytes,
+        )
+        self._tenants: Dict[str, Tenant] = {}
+        self._started = False
+        self.alive = True
+
+    # ------------------------------------------------------------------
+
+    def startup(self) -> None:
+        """Start the shared middleware once."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self.code.map()
+        order = self.universe.perturbed_order(
+            self.universe.startup_classes(), self.rng, who="mt-server"
+        )
+        self.classes.load_classes(order)
+        self.jit.compile_bytes(int(self.jit.code_budget_bytes * 0.6))
+        self.jit.flush()
+        self.work.initialize()
+        self._started = True
+
+    def add_tenant(self, spec: TenantSpec) -> Tenant:
+        """Admit one application with its own heap and stacks."""
+        self._check_alive()
+        if not self._started:
+            raise RuntimeError("start the server before adding tenants")
+        if spec.name in self._tenants:
+            raise ValueError(f"tenant {spec.name!r} already exists")
+        heap = OptThruputGc(
+            self.process,
+            heap_bytes=spec.heap_bytes,
+            touched_fraction=self.profile.heap_touched_fraction,
+            zero_tail_bytes=max(
+                self.process.page_size,
+                spec.heap_bytes // 64,
+            ),
+            dirty_fraction=self.profile.heap_dirty_fraction,
+        )
+        heap.initialize()
+        stacks = ThreadStacks(
+            self.process,
+            self.rng.derive("tenant", spec.name),
+            thread_count=spec.thread_count,
+            stack_bytes=spec.stack_bytes_per_thread,
+        )
+        stacks.initialize()
+        tenant = Tenant(spec, heap, stacks)
+        self._tenants[spec.name] = tenant
+        return tenant
+
+    # ------------------------------------------------------------------
+
+    def tenant(self, name: str) -> Tenant:
+        return self._tenants[name]
+
+    @property
+    def tenants(self) -> List[Tenant]:
+        return list(self._tenants.values())
+
+    def tick(self) -> None:
+        """One interval of activity for the server and all live tenants."""
+        self._check_alive()
+        for tenant in self._tenants.values():
+            if tenant.alive:
+                tenant.heap.tick()
+                tenant.stacks.tick()
+        self.work.tick()
+
+    def crash_tenant(self, name: str) -> None:
+        """A tenant faults (e.g. in its JNI code).
+
+        With fencing (MVM2), only the tenant dies; without it, the whole
+        shared server process goes down — the paper's isolation argument
+        against naive multi-tenancy.
+        """
+        tenant = self._tenants[name]
+        tenant.alive = False
+        if not self.fence_tenant_faults:
+            self.alive = False
+            raise ProcessCrashedError(
+                f"tenant {name!r} crashed the shared server process"
+            )
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise ProcessCrashedError("the server process has crashed")
+
+    # ------------------------------------------------------------------
+
+    def middleware_resident_bytes(self) -> int:
+        """Memory of the shared (per-process-once) middleware image."""
+        return (
+            self.code.resident_bytes
+            + self.classes.segment_resident_bytes()
+            + self.jit.code_bytes_used
+            + self.work.resident_bytes()
+        )
+
+    def resident_bytes(self) -> int:
+        return self.process.resident_bytes()
+
+    def live_tenants(self) -> int:
+        return sum(1 for tenant in self._tenants.values() if tenant.alive)

@@ -1,0 +1,195 @@
+"""The shared class cache (J9 ``-Xshareclasses`` / HotSpot CDS).
+
+The cache is a fixed-size, persistent, memory-mapped file holding the
+read-only part of classes (ROM classes: bytecode, constant pools, string
+literals) in the order the populating JVM first loaded them.  Two
+properties make it the paper's vehicle for transparent page sharing:
+
+* **Layout determinism** — once the file exists, every JVM that attaches
+  to it sees the classes at the same file offsets, so the in-memory layout
+  is identical in every process and VM that maps the same file content.
+
+* **Copyability** — the file can be copied into every guest VM (e.g. baked
+  into the base disk image, §IV.C); a copy preserves byte content, hence
+  page-content identity, hence KSM mergeability.
+
+The writable per-class data (method tables) stays in process-private
+memory; only the read-only part lives here, which the paper notes the
+feature extracts automatically (§IV.B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.guestos.pagecache import BackingFile
+from repro.mem.content import ZERO_TOKEN
+from repro.mem.region import Region
+from repro.sim.rng import stable_hash64
+from repro.units import KiB, align_up, pages_for
+from repro.workloads.classsets import JavaClassDef
+
+#: Cache header: format metadata, the class directory, the string table.
+HEADER_BYTES = 256 * KiB
+
+#: Alignment of ROM classes within the cache (J9 uses SHC_WORDALIGN).
+ROM_ALIGN = 256
+
+
+class CacheFullError(Exception):
+    """Raised when a class does not fit in the remaining cache space.
+
+    Real J9 behaviour on a full cache is to keep running and load further
+    classes privately; callers that want that behaviour catch this (see
+    :meth:`SharedClassCache.populate`, which returns the overflow).
+    """
+
+
+class SharedClassCache:
+    """A populated (or populating) shared class cache."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        page_size: int,
+        creator_id: str,
+        jvm_build_id: str = "ibm-j9-java6-sr9",
+    ) -> None:
+        if size_bytes <= HEADER_BYTES:
+            raise ValueError(
+                f"cache of {size_bytes} bytes cannot hold the "
+                f"{HEADER_BYTES}-byte header"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.page_size = page_size
+        #: Identifies the populating run: caches created independently (one
+        #: per VM) get different headers and different content identity even
+        #: for the same class set, reproducing the cache-copy ablation.
+        self.creator_id = creator_id
+        #: The JVM build that created the cache; J9 validates this at
+        #: attach and refuses incompatible caches.
+        self.jvm_build_id = jvm_build_id
+        self._region = Region(page_size, base_offset=0)
+        self._region.append(
+            stable_hash64("scc-header", name, creator_id, jvm_build_id),
+            HEADER_BYTES,
+        )
+        self._offsets: Dict[str, int] = {}
+        self._class_sizes: Dict[str, int] = {}
+        self._used = HEADER_BYTES
+        self._sealed = False
+
+    # ------------------------------------------------------------------
+    # Population (the cold run)
+    # ------------------------------------------------------------------
+
+    def add_class(self, cls: JavaClassDef) -> int:
+        """Store one ROM class; returns its byte offset in the cache."""
+        if self._sealed:
+            raise RuntimeError(f"cache {self.name!r} is sealed")
+        if not cls.cacheable:
+            raise ValueError(
+                f"{cls.name} is loaded by an application loader and cannot "
+                "be stored in the shared cache"
+            )
+        if cls.name in self._offsets:
+            return self._offsets[cls.name]
+        needed = align_up(cls.rom_bytes, ROM_ALIGN)
+        if self._used + needed > self.size_bytes:
+            raise CacheFullError(
+                f"cache {self.name!r}: {cls.name} needs {needed} bytes, "
+                f"only {self.size_bytes - self._used} free"
+            )
+        offset = self._region.append(cls.rom_content_id, cls.rom_bytes)
+        if cls.rom_bytes < needed:
+            self._region.append(0, needed - cls.rom_bytes)  # alignment pad
+        self._offsets[cls.name] = offset
+        self._class_sizes[cls.name] = cls.rom_bytes
+        self._used += needed
+        return offset
+
+    def populate(
+        self, classes: Iterable[JavaClassDef]
+    ) -> List[JavaClassDef]:
+        """Store cacheable classes in the given order until the cache fills.
+
+        Returns the classes that did *not* fit (loaded privately by every
+        JVM, like real J9 with a full cache).  Non-cacheable classes are
+        skipped and also returned.
+        """
+        overflow: List[JavaClassDef] = []
+        full = False
+        for cls in classes:
+            if not cls.cacheable or full:
+                overflow.append(cls)
+                continue
+            try:
+                self.add_class(cls)
+            except CacheFullError:
+                full = True
+                overflow.append(cls)
+        return overflow
+
+    def seal(self) -> None:
+        """Freeze the cache (the populating JVM shut down)."""
+        self._sealed = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size_bytes - self._used
+
+    @property
+    def stored_classes(self) -> int:
+        return len(self._offsets)
+
+    def contains(self, class_name: str) -> bool:
+        return class_name in self._offsets
+
+    def offset_of(self, class_name: str) -> int:
+        return self._offsets[class_name]
+
+    def page_span_of(self, class_name: str) -> range:
+        """File-page indices covered by the named class's ROM data."""
+        offset = self._offsets[class_name]
+        size = self._class_sizes[class_name]
+        first = offset // self.page_size
+        last = (offset + size - 1) // self.page_size
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    # File materialisation
+    # ------------------------------------------------------------------
+
+    def as_backing_file(self, file_id: str) -> BackingFile:
+        """Materialise the cache as a persistent file.
+
+        The file is exactly ``size_bytes`` long: the populated prefix gets
+        the region's page tokens, the unused tail is zero pages (the file
+        is created sparse/zeroed at the full cache size).
+        """
+        tokens = self._region.page_tokens()
+        total_pages = pages_for(self.size_bytes, self.page_size)
+        if len(tokens) > total_pages:
+            raise AssertionError("cache region grew beyond the cache size")
+        tokens = tokens + [ZERO_TOKEN] * (total_pages - len(tokens))
+        return BackingFile(file_id, self.size_bytes, self.page_size, tokens)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedClassCache({self.name!r}, used={self._used >> 20} MiB "
+            f"of {self.size_bytes >> 20} MiB, classes={len(self._offsets)})"
+        )

@@ -1,0 +1,6 @@
+"""Kernel Samepage Merging (KSM): the Linux TPS scanner used by KVM."""
+
+from repro.ksm.scanner import KsmConfig, KsmScanner
+from repro.ksm.stats import KsmStats
+
+__all__ = ["KsmConfig", "KsmScanner", "KsmStats"]

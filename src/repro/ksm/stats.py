@@ -1,0 +1,54 @@
+"""KSM runtime counters, mirroring ``/sys/kernel/mm/ksm``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KsmStats:
+    """Counters exported by the scanner.
+
+    Attributes follow the sysfs names where one exists:
+
+    * ``pages_shared``: live merged (stable) frames.
+    * ``pages_sharing``: page-table mappings that point at stable frames;
+      ``pages_sharing - pages_shared`` is the number of frames saved.
+    * ``full_scans``: completed passes over every registered page.
+    * ``pages_scanned``: candidate pages examined.
+    * ``merges``: successful merge operations.
+    * ``volatile_skips``: pages skipped because their content changed
+      between two scans (the checksum-stability requirement).
+    * ``stale_drops``: unstable-tree entries found already rewritten.
+    * ``cpu_ms``: simulated CPU time spent scanning.
+    """
+
+    pages_shared: int = 0
+    pages_sharing: int = 0
+    full_scans: int = 0
+    pages_scanned: int = 0
+    merges: int = 0
+    volatile_skips: int = 0
+    stale_drops: int = 0
+    cpu_ms: float = 0.0
+    elapsed_ms: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pages_saved(self) -> int:
+        """Frames released by merging (what TPS saves the host)."""
+        return max(0, self.pages_sharing - self.pages_shared)
+
+    @property
+    def cpu_percent(self) -> float:
+        """Scanner CPU utilisation over the covered interval."""
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return 100.0 * self.cpu_ms / self.elapsed_ms
+
+    def __str__(self) -> str:
+        return (
+            f"KsmStats(shared={self.pages_shared}, "
+            f"sharing={self.pages_sharing}, saved={self.pages_saved}, "
+            f"full_scans={self.full_scans}, cpu={self.cpu_percent:.1f}%)"
+        )

@@ -1,0 +1,83 @@
+"""Sparse page tables.
+
+A :class:`PageTable` is a sparse mapping from virtual page number to a
+physical page number.  It is used at every translation layer of the stack:
+
+* guest process virtual page → guest physical frame number (gfn), managed
+  by the guest OS;
+* guest physical frame number → host virtual page of the VM process,
+  managed by the hypervisor's memory slots (KVM) — this layer is an affine
+  map and is represented separately by ``MemSlot`` in the hypervisor;
+* host process virtual page → host physical frame id, managed by the host
+  OS (this is the layer KSM rewrites when it merges pages).
+
+Unmapped pages simply have no entry; the paper's methodology explicitly
+handles pages "not mapped to host physical memory".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class PageTable:
+    """A sparse vpn → pfn mapping with a stable identity.
+
+    ``name`` identifies the table in dumps and error messages, e.g.
+    ``"host:qemu-vm1"`` or ``"vm1:pid42"``.
+    """
+
+    __slots__ = ("name", "_entries")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: Dict[int, int] = {}
+
+    def map(self, vpn: int, pfn: int) -> None:
+        """Install a translation; the slot must currently be empty."""
+        if vpn in self._entries:
+            raise ValueError(
+                f"{self.name}: vpn {vpn:#x} is already mapped "
+                f"(to pfn {self._entries[vpn]:#x})"
+            )
+        self._entries[vpn] = pfn
+
+    def remap(self, vpn: int, pfn: int) -> int:
+        """Replace an existing translation; returns the previous pfn."""
+        try:
+            previous = self._entries[vpn]
+        except KeyError:
+            raise KeyError(f"{self.name}: vpn {vpn:#x} is not mapped") from None
+        self._entries[vpn] = pfn
+        return previous
+
+    def unmap(self, vpn: int) -> int:
+        """Remove a translation; returns the pfn it pointed to."""
+        try:
+            return self._entries.pop(vpn)
+        except KeyError:
+            raise KeyError(f"{self.name}: vpn {vpn:#x} is not mapped") from None
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """Return the pfn for ``vpn``, or None when unmapped."""
+        return self._entries.get(vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def entries(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (vpn, pfn) pairs in no particular order."""
+        return iter(self._entries.items())
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the raw mapping (used when collecting dumps)."""
+        return dict(self._entries)
+
+    def __repr__(self) -> str:
+        return f"PageTable({self.name!r}, entries={len(self._entries)})"

@@ -1,0 +1,206 @@
+"""Host physical memory: a frame table with copy-on-write semantics.
+
+Frames are identified by monotonically increasing ids (never reused, so a
+stale frame id held by the KSM stable tree can always be detected).  A frame
+records its content token, its mapping refcount, and whether it is a merged
+KSM-stable frame — stable frames are write-protected, so any write to one
+triggers a copy-on-write break, even when only a single mapper remains.
+
+The frame table also tracks *capacity*: the hypervisor host in the paper has
+6 GB of RAM and the consolidation experiments (Figs. 7–8) depend on what
+happens when the working set exceeds it.  Exceeding capacity is allowed
+(the host starts paging); the byte balance is exposed so the paging model
+in :mod:`repro.perf` can compute the penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mem.address_space import PageTable
+from repro.mem.content import ZERO_TOKEN
+
+
+class Frame:
+    """One physical page frame."""
+
+    __slots__ = ("token", "refcount", "ksm_stable")
+
+    def __init__(self, token: int) -> None:
+        self.token = token
+        self.refcount = 1
+        self.ksm_stable = False
+
+    def __repr__(self) -> str:
+        flag = " stable" if self.ksm_stable else ""
+        return f"Frame(token={self.token:#x}, refs={self.refcount}{flag})"
+
+
+class HostPhysicalMemory:
+    """The machine's physical frame pool.
+
+    All mutation of (page table, frame) pairs goes through this class so
+    that refcounts, copy-on-write, and KSM merging stay consistent.
+    """
+
+    def __init__(self, capacity_bytes: int, page_size: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.page_size = page_size
+        self._frames: Dict[int, Frame] = {}
+        self._next_fid = 1
+        self._cow_breaks = 0
+        self._frames_ever_allocated = 0
+
+    # ------------------------------------------------------------------
+    # Frame-level primitives
+    # ------------------------------------------------------------------
+
+    def alloc(self, token: int) -> int:
+        """Allocate a fresh frame holding ``token``; refcount starts at 1."""
+        fid = self._next_fid
+        self._next_fid += 1
+        self._frames[fid] = Frame(token)
+        self._frames_ever_allocated += 1
+        return fid
+
+    def frame(self, fid: int) -> Optional[Frame]:
+        """The frame for ``fid``, or None if it has been freed."""
+        return self._frames.get(fid)
+
+    def get_frame(self, fid: int) -> Frame:
+        """The frame for ``fid``; raises if it has been freed."""
+        try:
+            return self._frames[fid]
+        except KeyError:
+            raise KeyError(f"frame {fid} has been freed") from None
+
+    def inc_ref(self, fid: int) -> None:
+        self.get_frame(fid).refcount += 1
+
+    def dec_ref(self, fid: int) -> None:
+        """Drop one reference; the frame is freed when none remain."""
+        frame = self.get_frame(fid)
+        frame.refcount -= 1
+        if frame.refcount < 0:
+            raise AssertionError(f"negative refcount on frame {fid}")
+        if frame.refcount == 0:
+            del self._frames[fid]
+
+    # ------------------------------------------------------------------
+    # Page-table-level operations (the only way mappings change)
+    # ------------------------------------------------------------------
+
+    def map_token(self, table: PageTable, vpn: int, token: int) -> int:
+        """Back ``vpn`` with a fresh frame holding ``token``."""
+        fid = self.alloc(token)
+        table.map(vpn, fid)
+        return fid
+
+    def read_token(self, table: PageTable, vpn: int) -> Optional[int]:
+        """Content token visible at ``vpn``, or None when unmapped."""
+        fid = table.translate(vpn)
+        if fid is None:
+            return None
+        return self.get_frame(fid).token
+
+    def write_token(self, table: PageTable, vpn: int, token: int) -> int:
+        """Write ``token`` at ``vpn``, breaking copy-on-write as needed.
+
+        Returns the frame id now backing the page.  A write to a shared or
+        KSM-stable frame allocates a private copy (the COW break KSM relies
+        on); a write to an exclusively owned, non-stable frame mutates the
+        frame in place.
+        """
+        fid = table.translate(vpn)
+        if fid is None:
+            return self.map_token(table, vpn, token)
+        frame = self.get_frame(fid)
+        if frame.refcount == 1 and not frame.ksm_stable:
+            frame.token = token
+            return fid
+        self._cow_breaks += 1
+        self.dec_ref(fid)
+        new_fid = self.alloc(token)
+        table.remap(vpn, new_fid)
+        return new_fid
+
+    def unmap(self, table: PageTable, vpn: int) -> None:
+        """Remove the mapping at ``vpn`` and drop its frame reference."""
+        fid = table.unmap(vpn)
+        self.dec_ref(fid)
+
+    def share_mapping(self, table: PageTable, vpn: int, fid: int) -> None:
+        """Map ``vpn`` to an existing frame (e.g. a fork or a KSM merge)."""
+        self.inc_ref(fid)
+        table.map(vpn, fid)
+
+    def merge_into(self, table: PageTable, vpn: int, target_fid: int) -> int:
+        """Re-point ``vpn`` from its current frame to ``target_fid``.
+
+        Used by the KSM scanner after verifying content equality.  Returns
+        the frame id the page previously used.  Raises if the contents
+        differ — merging unequal pages would corrupt guest memory.
+        """
+        old_fid = table.translate(vpn)
+        if old_fid is None:
+            raise KeyError(f"{table.name}: vpn {vpn:#x} is not mapped")
+        if old_fid == target_fid:
+            return old_fid
+        old = self.get_frame(old_fid)
+        target = self.get_frame(target_fid)
+        if old.token != target.token:
+            raise ValueError(
+                "refusing to merge pages with different contents "
+                f"({old.token:#x} != {target.token:#x})"
+            )
+        target.refcount += 1
+        table.remap(vpn, target_fid)
+        self.dec_ref(old_fid)
+        return old_fid
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def frames_in_use(self) -> int:
+        return len(self._frames)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return len(self._frames) * self.page_size
+
+    @property
+    def bytes_free(self) -> int:
+        """May be negative when the host is over-committed."""
+        return self.capacity_bytes - self.bytes_in_use
+
+    @property
+    def overcommitted_bytes(self) -> int:
+        """Bytes by which usage exceeds capacity (0 when it fits)."""
+        return max(0, self.bytes_in_use - self.capacity_bytes)
+
+    @property
+    def cow_breaks(self) -> int:
+        """Number of copy-on-write breaks since boot."""
+        return self._cow_breaks
+
+    @property
+    def frames_ever_allocated(self) -> int:
+        return self._frames_ever_allocated
+
+    def count_zero_frames(self) -> int:
+        """Frames currently holding all-zero content (diagnostic)."""
+        return sum(
+            1 for frame in self._frames.values() if frame.token == ZERO_TOKEN
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HostPhysicalMemory(in_use={self.bytes_in_use >> 20} MiB, "
+            f"capacity={self.capacity_bytes >> 20} MiB)"
+        )

@@ -1,0 +1,109 @@
+"""Region: an append-only chunk layout that materialises page tokens.
+
+JVM components (class segments, heap, JIT code cache, ...) build their
+memory images by appending chunks to a :class:`Region` and then asking for
+the page tokens to write into their process address space.  The region
+records the byte offset of every chunk so callers can reason about
+alignment — the property the paper's preloading technique exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.mem.content import Chunk, page_tokens_for_chunks
+
+
+class Region:
+    """An append-only sequence of chunks with page-token materialisation."""
+
+    def __init__(self, page_size: int, base_offset: int = 0) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive, got {page_size}")
+        if not 0 <= base_offset < page_size:
+            raise ValueError(
+                f"base_offset must be within one page, got {base_offset}"
+            )
+        self._page_size = page_size
+        self._base_offset = base_offset
+        self._chunks: List[Chunk] = []
+        self._offsets: List[int] = []  # byte offset of each chunk from base
+        self._total = 0
+        self._tokens: Optional[List[int]] = None  # cache, invalidated on append
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def base_offset(self) -> int:
+        return self._base_offset
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes covered by appended chunks (excludes the base offset)."""
+        return self._total
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the layout touches."""
+        if self._total == 0:
+            return 0
+        return -(-(self._base_offset + self._total) // self._page_size)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def append(self, content_id: int, size: int) -> int:
+        """Append a chunk; returns its byte offset from the region start."""
+        offset = self._total
+        self._chunks.append(Chunk(content_id, size))
+        self._offsets.append(offset)
+        self._total += size
+        self._tokens = None
+        return offset
+
+    def append_chunk(self, chunk: Chunk) -> int:
+        """Append an existing :class:`Chunk`; returns its byte offset."""
+        return self.append(chunk.content_id, chunk.size)
+
+    def pad_to_page(self) -> int:
+        """Zero-pad so the next append starts page-aligned.
+
+        Returns the number of padding bytes added (0 when already aligned).
+        """
+        end = self._base_offset + self._total
+        remainder = end % self._page_size
+        if remainder == 0:
+            return 0
+        padding = self._page_size - remainder
+        self.append(0, padding)
+        return padding
+
+    def chunk_offset(self, index: int) -> int:
+        """Byte offset of chunk ``index`` from the region start."""
+        return self._offsets[index]
+
+    def chunk_page_span(self, index: int) -> Tuple[int, int]:
+        """(first page, last page) indices covered by chunk ``index``."""
+        begin = self._base_offset + self._offsets[index]
+        end = begin + self._chunks[index].size - 1
+        return begin // self._page_size, end // self._page_size
+
+    def page_tokens(self) -> List[int]:
+        """Materialise page tokens for the current layout (cached)."""
+        if self._tokens is None:
+            self._tokens = page_tokens_for_chunks(
+                self._chunks, self._page_size, self._base_offset
+            )
+        return list(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    def __repr__(self) -> str:
+        return (
+            f"Region(chunks={len(self._chunks)}, bytes={self._total}, "
+            f"pages={self.page_count})"
+        )

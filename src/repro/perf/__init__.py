@@ -1,0 +1,9 @@
+"""Host paging and throughput models for the consolidation experiments."""
+
+from repro.perf.paging import PagingModel
+from repro.perf.throughput import (
+    DayTraderThroughputModel,
+    SpecjScoreModel,
+)
+
+__all__ = ["PagingModel", "DayTraderThroughputModel", "SpecjScoreModel"]

@@ -1,0 +1,81 @@
+"""Named, seeded random streams and stable 64-bit hashing.
+
+Two rules keep the simulation deterministic:
+
+* Nothing uses the global :mod:`random` state.  Every stochastic decision
+  draws from a stream obtained from an :class:`RngFactory`, keyed by a
+  descriptive name (e.g. ``("jvm", vm_name, pid, "class-load-order")``).
+  The same factory seed and the same name always yield the same stream,
+  regardless of creation order.
+
+* Content identity uses :func:`stable_hash64`, a BLAKE2b-based hash that is
+  stable across processes and Python versions (unlike built-in ``hash``,
+  which is salted per process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Tuple, Union
+
+_HashablePart = Union[str, int, bytes, float]
+
+
+def _encode_part(part: _HashablePart) -> bytes:
+    """Encode one hash component with an unambiguous type tag."""
+    if isinstance(part, bytes):
+        return b"b" + part
+    if isinstance(part, str):
+        return b"s" + part.encode("utf-8")
+    if isinstance(part, bool):  # bool before int: bool is an int subclass
+        return b"o" + (b"1" if part else b"0")
+    if isinstance(part, int):
+        return b"i" + str(part).encode("ascii")
+    if isinstance(part, float):
+        return b"f" + repr(part).encode("ascii")
+    raise TypeError(f"unhashable content part of type {type(part).__name__}")
+
+
+def stable_hash64(*parts: _HashablePart) -> int:
+    """A process-stable 64-bit hash of the given parts.
+
+    The result is guaranteed non-zero so that callers may reserve 0 as a
+    sentinel (the all-zero page token).
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        encoded = _encode_part(part)
+        hasher.update(len(encoded).to_bytes(4, "little"))
+        hasher.update(encoded)
+    value = int.from_bytes(hasher.digest(), "little")
+    return value or 1
+
+
+class RngFactory:
+    """Factory for independent, reproducibly seeded random streams."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, *name: _HashablePart) -> random.Random:
+        """Return a fresh :class:`random.Random` for the given stream name.
+
+        Calling this twice with the same name returns two independent
+        generator objects that produce the same sequence.
+        """
+        return random.Random(stable_hash64(self._seed, *name))
+
+    def derive(self, *name: _HashablePart) -> "RngFactory":
+        """Return a child factory whose streams are namespaced by ``name``."""
+        return RngFactory(stable_hash64(self._seed, "derive", *name))
+
+    def __repr__(self) -> str:
+        return f"RngFactory(seed={self._seed})"
+
+
+Name = Tuple[_HashablePart, ...]

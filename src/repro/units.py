@@ -1,0 +1,55 @@
+"""Byte-size units and page arithmetic helpers.
+
+Everything in the simulator is denominated in bytes; these helpers keep the
+call sites readable (``64 * MiB`` instead of ``67108864``) and centralise the
+rounding rules used when converting byte counts to whole pages.
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: The page size used by the paper's x86 and POWER measurements.
+DEFAULT_PAGE_SIZE = 4 * KiB
+
+
+def pages_for(num_bytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Number of whole pages needed to hold ``num_bytes`` (round up)."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if page_size <= 0:
+        raise ValueError(f"page size must be positive, got {page_size}")
+    return -(-num_bytes // page_size)
+
+
+def bytes_for(num_pages: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Byte count of ``num_pages`` whole pages."""
+    if num_pages < 0:
+        raise ValueError(f"page count must be non-negative, got {num_pages}")
+    return num_pages * page_size
+
+
+def to_mib(num_bytes: int) -> float:
+    """Convert a byte count to MiB as a float (for reporting)."""
+    return num_bytes / MiB
+
+
+def from_mib(mib: float) -> int:
+    """Convert MiB to a whole byte count."""
+    return int(mib * MiB)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return -(-value // alignment) * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the previous multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment

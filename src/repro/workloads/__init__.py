@@ -1,0 +1,25 @@
+"""Workload models: class universes, benchmark profiles, client drivers."""
+
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.classsets import ClassUniverse, LoaderKind, JavaClassDef
+from repro.workloads.base import Workload, build_workload
+from repro.workloads.daytrader import DAYTRADER_PROFILE, DAYTRADER_POWER_PROFILE
+from repro.workloads.specjbb import SPECJBB_PROFILE
+from repro.workloads.specjenterprise import SPECJ_PROFILE
+from repro.workloads.tpcw import TPCW_PROFILE
+from repro.workloads.tuscany import TUSCANY_PROFILE
+
+__all__ = [
+    "WorkloadProfile",
+    "ClassUniverse",
+    "LoaderKind",
+    "JavaClassDef",
+    "Workload",
+    "build_workload",
+    "DAYTRADER_PROFILE",
+    "DAYTRADER_POWER_PROFILE",
+    "SPECJ_PROFILE",
+    "SPECJBB_PROFILE",
+    "TPCW_PROFILE",
+    "TUSCANY_PROFILE",
+]

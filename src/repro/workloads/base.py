@@ -1,0 +1,98 @@
+"""Workload objects: profile + class universe + default configs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.config import (
+    Benchmark,
+    DAYTRADER_JVM,
+    DAYTRADER_POWER_JVM,
+    DAYTRADER_POWER_WORKLOAD,
+    DAYTRADER_WORKLOAD,
+    JvmConfig,
+    SPECJBB_JVM,
+    SPECJBB_WORKLOAD,
+    SPECJ_JVM,
+    SPECJ_WORKLOAD,
+    TPCW_JVM,
+    TPCW_WORKLOAD,
+    TUSCANY_JVM,
+    TUSCANY_WORKLOAD,
+    WorkloadConfig,
+)
+from repro.workloads.classsets import ClassUniverse
+from repro.workloads.profile import WorkloadProfile
+
+
+class Workload:
+    """A benchmark: numeric profile, class universe, default configs.
+
+    The class universe is built lazily and cached: it is identical for
+    every VM running the same benchmark + middleware version, which is
+    what makes the preloading technique (and only it) effective.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        jvm_config: JvmConfig,
+        driver_config: WorkloadConfig,
+    ) -> None:
+        self.profile = profile
+        self.jvm_config = jvm_config
+        self.driver_config = driver_config
+        self._universe: Optional[ClassUniverse] = None
+
+    @property
+    def benchmark(self) -> Benchmark:
+        return self.profile.benchmark
+
+    def universe(self) -> ClassUniverse:
+        if self._universe is None:
+            self._universe = ClassUniverse(self.profile)
+        return self._universe
+
+    def __repr__(self) -> str:
+        return f"Workload({self.profile.benchmark.value!r})"
+
+
+def build_workload(
+    benchmark: Benchmark, platform: str = "intel"
+) -> Workload:
+    """Construct a paper-configured workload for the given benchmark."""
+    # Imported here to avoid a cycle at module-import time (the benchmark
+    # modules import WorkloadProfile from this package).
+    from repro.workloads.daytrader import (
+        DAYTRADER_POWER_PROFILE,
+        DAYTRADER_PROFILE,
+    )
+    from repro.workloads.specjbb import SPECJBB_PROFILE
+    from repro.workloads.specjenterprise import SPECJ_PROFILE
+    from repro.workloads.tpcw import TPCW_PROFILE
+    from repro.workloads.tuscany import TUSCANY_PROFILE
+
+    if platform not in ("intel", "power"):
+        raise ValueError(f"unknown platform {platform!r}")
+    if benchmark is Benchmark.DAYTRADER and platform == "power":
+        return Workload(
+            DAYTRADER_POWER_PROFILE,
+            DAYTRADER_POWER_JVM,
+            DAYTRADER_POWER_WORKLOAD,
+        )
+    table: Dict[Benchmark, Workload] = {
+        Benchmark.DAYTRADER: Workload(
+            DAYTRADER_PROFILE, DAYTRADER_JVM, DAYTRADER_WORKLOAD
+        ),
+        Benchmark.SPECJENTERPRISE: Workload(
+            SPECJ_PROFILE, SPECJ_JVM, SPECJ_WORKLOAD
+        ),
+        Benchmark.TPCW: Workload(TPCW_PROFILE, TPCW_JVM, TPCW_WORKLOAD),
+        Benchmark.TUSCANY_BIGBANK: Workload(
+            TUSCANY_PROFILE, TUSCANY_JVM, TUSCANY_WORKLOAD
+        ),
+        Benchmark.SPECJBB: Workload(
+            SPECJBB_PROFILE, SPECJBB_JVM, SPECJBB_WORKLOAD
+        ),
+    }
+    return table[benchmark]

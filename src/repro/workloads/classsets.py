@@ -1,0 +1,205 @@
+"""Synthetic class universes.
+
+The paper's technique hinges on *which classes* a workload loads and which
+class loader loads them (§V.A): around 90 % of preloaded classes belong to
+the middleware (WAS, including OSGi and derby), around 10 % are Java system
+classes, and the EJB application classes are not preloaded at all because
+their loaders are not shared-cache aware.
+
+:class:`ClassUniverse` generates a deterministic population of
+:class:`JavaClassDef` records from a :class:`~repro.workloads.profile.
+WorkloadProfile`: stable names, stable per-class ROM/RAM sizes, and a
+canonical load order.  Two VMs running the same middleware version get the
+*same universe* (same ROM content identities) — only the per-process load
+order and layout differ, which is exactly the paper's diagnosis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.rng import RngFactory, stable_hash64
+from repro.units import align_up
+from repro.workloads.profile import WorkloadProfile
+
+
+class LoaderKind(enum.Enum):
+    """Which class loader brings a class in (decides cache eligibility)."""
+
+    BOOTSTRAP = "bootstrap"  # JCL: cache-aware
+    MIDDLEWARE = "middleware"  # WAS/OSGi/Tuscany loaders: cache-aware
+    APPLICATION = "application"  # EJB/webapp loaders: NOT cache-aware
+
+
+#: Package stems used to synthesise realistic class names.
+_JCL_PACKAGES = (
+    "java.lang", "java.util", "java.io", "java.net", "java.security",
+    "javax.naming", "javax.management", "sun.misc", "sun.reflect",
+    "org.apache.harmony.luni", "org.apache.harmony.nio",
+)
+
+_WAS_PACKAGES = (
+    "com.ibm.ws.runtime", "com.ibm.ws.webcontainer", "com.ibm.ws.security",
+    "com.ibm.ws.management", "com.ibm.ws.sib", "com.ibm.ejs.ras",
+    "org.eclipse.osgi.framework", "org.eclipse.osgi.internal",
+    "org.apache.derby.impl", "org.apache.derby.iapi",
+    "com.ibm.websphere.servlet",
+)
+
+_TUSCANY_PACKAGES = (
+    "org.apache.tuscany.sca.core", "org.apache.tuscany.sca.assembly",
+    "org.apache.tuscany.sca.binding", "org.apache.tuscany.sca.databinding",
+    "org.apache.axiom.om", "org.apache.axis2.engine",
+)
+
+
+@dataclass(frozen=True)
+class JavaClassDef:
+    """One class in the universe.
+
+    ``rom_content_id`` identifies the read-only part (bytecode, constant
+    pool, string literals): it depends only on the class name and the
+    middleware version, so it is identical across processes and VMs.
+    The writable part (method tables, resolved references) is always
+    process-private and has no global identity.
+    """
+
+    name: str
+    loader: LoaderKind
+    rom_bytes: int
+    ram_bytes: int
+    rom_content_id: int
+
+    @property
+    def cacheable(self) -> bool:
+        return self.loader is not LoaderKind.APPLICATION
+
+
+def _class_sizes(
+    name: str, avg_rom: int, avg_ram: int, middleware_id: str
+) -> tuple:
+    """Deterministic per-class sizes: jitter around the profile averages."""
+    salt = stable_hash64("class-size", middleware_id, name)
+    # Spread sizes over [0.4, 2.2] x average with a stable pseudo-random
+    # factor; align to 16 bytes like real allocators do.
+    factor = 0.4 + (salt % 10_000) / 10_000 * 1.8
+    rom = align_up(max(64, int(avg_rom * factor)), 16)
+    ram = align_up(max(32, int(avg_ram * factor)), 16)
+    return rom, ram
+
+
+def _make_classes(
+    packages: Sequence[str],
+    count: int,
+    loader: LoaderKind,
+    avg_rom: int,
+    avg_ram: int,
+    middleware_id: str,
+) -> List[JavaClassDef]:
+    classes = []
+    for index in range(count):
+        package = packages[index % len(packages)]
+        name = f"{package}.C{index:05d}"
+        rom, ram = _class_sizes(name, avg_rom, avg_ram, middleware_id)
+        classes.append(
+            JavaClassDef(
+                name=name,
+                loader=loader,
+                rom_bytes=rom,
+                ram_bytes=ram,
+                rom_content_id=stable_hash64(
+                    "romclass", middleware_id, name
+                ),
+            )
+        )
+    return classes
+
+
+class ClassUniverse:
+    """All classes a benchmark can load, in canonical load order."""
+
+    def __init__(self, profile: WorkloadProfile) -> None:
+        self.profile = profile
+        middleware_packages = (
+            _TUSCANY_PACKAGES
+            if "tuscany" in profile.middleware_id
+            else _WAS_PACKAGES
+        )
+        self.jcl = _make_classes(
+            _JCL_PACKAGES, profile.jcl_classes, LoaderKind.BOOTSTRAP,
+            profile.avg_rom_bytes, profile.avg_ram_bytes,
+            profile.middleware_id,
+        )
+        self.middleware = _make_classes(
+            middleware_packages, profile.middleware_classes,
+            LoaderKind.MIDDLEWARE,
+            profile.avg_rom_bytes, profile.avg_ram_bytes,
+            profile.middleware_id,
+        )
+        app_packages = (f"app.{profile.benchmark.value}".replace("-", "_"),)
+        self.app = _make_classes(
+            app_packages, profile.app_classes, LoaderKind.APPLICATION,
+            profile.avg_rom_bytes, profile.avg_ram_bytes,
+            profile.middleware_id,
+        )
+        # Canonical order: JCL first (bootstrap), then middleware, with the
+        # application classes interleaved near the end (loaded as the first
+        # requests arrive).
+        self._canonical: List[JavaClassDef] = (
+            list(self.jcl) + list(self.middleware) + list(self.app)
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def all_classes(self) -> List[JavaClassDef]:
+        return list(self._canonical)
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    def cacheable_classes(self) -> List[JavaClassDef]:
+        return [cls for cls in self._canonical if cls.cacheable]
+
+    def total_rom_bytes(self) -> int:
+        return sum(cls.rom_bytes for cls in self._canonical)
+
+    def cacheable_rom_bytes(self) -> int:
+        return sum(cls.rom_bytes for cls in self._canonical if cls.cacheable)
+
+    # ------------------------------------------------------------------
+    # Load schedules
+    # ------------------------------------------------------------------
+
+    def startup_classes(self) -> List[JavaClassDef]:
+        """Classes loaded while the server starts (canonical order)."""
+        count = int(len(self._canonical) * self.profile.startup_load_fraction)
+        return self._canonical[:count]
+
+    def runtime_classes(self) -> List[JavaClassDef]:
+        """Classes loaded lazily while requests run."""
+        count = int(len(self._canonical) * self.profile.startup_load_fraction)
+        return self._canonical[count:]
+
+    def perturbed_order(
+        self, classes: Sequence[JavaClassDef], rng: RngFactory, who: str
+    ) -> List[JavaClassDef]:
+        """A per-process load order.
+
+        Real JVMs load classes in response to program execution, so thread
+        timing perturbs the order between runs (§III.B: "the Java VM cannot
+        manage their order when creating those data structures").  We model
+        this as local shuffles within sliding windows: the broad phases
+        stay (JCL before middleware) but page-level layout diverges.
+        """
+        stream = rng.stream("load-order", who)
+        result = list(classes)
+        window = 24
+        for start in range(0, len(result), window):
+            end = min(start + window, len(result))
+            segment = result[start:end]
+            stream.shuffle(segment)
+            result[start:end] = segment
+        return result

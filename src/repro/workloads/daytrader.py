@@ -1,0 +1,69 @@
+"""Apache DayTrader 2.0 on WebSphere 7.0.0.15.
+
+The paper's primary workload: an online stock-trading benchmark driven by
+12 client threads per guest VM (Table III).  The profile is calibrated to
+the Fig. 3(a) breakdown: ≈750 MB of physical memory per WAS process in a
+1 GB guest, of which the class metadata is ≈120 MB (matching the 120 MB
+shared-class-cache configuration), the heap ≈460 MB resident of the
+530 MB -Xmx, and JIT code ≈55 MB.
+"""
+
+from __future__ import annotations
+
+from repro.config import Benchmark
+from repro.units import KiB, MiB
+from repro.workloads.profile import WorkloadProfile
+
+DAYTRADER_PROFILE = WorkloadProfile(
+    benchmark=Benchmark.DAYTRADER,
+    middleware_id="was-7.0.0.15",
+    # ~90 % of loaded classes are middleware (WAS incl. OSGi and derby),
+    # ~10 % Java system classes, plus a small EJB application set that the
+    # J9 EJB class loaders cannot store in the shared cache (§V.A).
+    middleware_classes=18_000,
+    jcl_classes=2_000,
+    app_classes=350,
+    avg_rom_bytes=4_000,  # size jitter gives a ~5.2 KiB mean ROM class
+    avg_ram_bytes=420,
+    startup_load_fraction=0.85,
+    jit_code_bytes=55 * MiB,
+    jit_work_bytes=25 * MiB,
+    heap_touched_fraction=0.87,
+    gc_zero_tail_bytes=4 * MiB,
+    heap_dirty_fraction=0.25,
+    nio_buffer_bytes=4 * MiB,
+    zero_slack_bytes=5 * MiB,
+    private_work_bytes=55 * MiB,
+    code_file_bytes=11 * MiB,
+    code_data_bytes=4 * MiB,
+    thread_count=40,
+    stack_bytes_per_thread=256 * KiB,
+    base_throughput_per_vm=33.0,  # req/s per healthy VM (Fig. 7 ramp)
+)
+
+#: The POWER platform run (§V.B): same WAS, AIX guests with a 1 GB heap
+#: and 25 client threads; a different middleware build, so its file pages
+#: never match the Intel one's.
+DAYTRADER_POWER_PROFILE = WorkloadProfile(
+    benchmark=Benchmark.DAYTRADER,
+    middleware_id="was-7.0.0.15-ppc64",
+    middleware_classes=18_000,
+    jcl_classes=2_000,
+    app_classes=350,
+    avg_rom_bytes=4_000,
+    avg_ram_bytes=420,
+    startup_load_fraction=0.85,
+    jit_code_bytes=60 * MiB,
+    jit_work_bytes=25 * MiB,
+    heap_touched_fraction=0.80,
+    gc_zero_tail_bytes=6 * MiB,
+    heap_dirty_fraction=0.25,
+    nio_buffer_bytes=5 * MiB,
+    zero_slack_bytes=6 * MiB,
+    private_work_bytes=60 * MiB,
+    code_file_bytes=12 * MiB,
+    code_data_bytes=4 * MiB,
+    thread_count=50,
+    stack_bytes_per_thread=256 * KiB,
+    base_throughput_per_vm=60.0,
+)

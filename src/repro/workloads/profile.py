@@ -1,0 +1,103 @@
+"""The numeric profile a benchmark presents to the JVM memory model.
+
+A :class:`WorkloadProfile` captures everything about a benchmark that
+shapes the memory behaviour the paper measures: how many classes it loads
+(split by class loader, because EJB application loaders cannot use the
+shared cache, §V.A), how big the JIT footprint grows, how the heap churns,
+how much NIO buffer content is identical across VMs running the same
+driver, and the healthy per-VM throughput used by the consolidation
+experiments.
+
+Profiles are calibrated against the paper's Fig. 3 breakdowns; the presets
+live in the per-benchmark modules (:mod:`repro.workloads.daytrader` etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Benchmark
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Benchmark-specific inputs to the JVM memory model."""
+
+    benchmark: Benchmark
+    #: Middleware version string; part of class content identity, so two
+    #: VMs share class pages only when running the same middleware build.
+    middleware_id: str
+
+    # -- class universe ------------------------------------------------
+    #: Cache-eligible middleware classes (WAS, OSGi, derby / Tuscany SCA).
+    middleware_classes: int
+    #: Cache-eligible Java system classes (java.*, javax.*, sun.*,
+    #: org.apache.harmony.*) — ≈10 % of preloaded classes per §V.A.
+    jcl_classes: int
+    #: Application classes loaded by EJB/webapp loaders that are *not*
+    #: shared-cache aware (never preloaded, §V.A).
+    app_classes: int
+    avg_rom_bytes: int
+    avg_ram_bytes: int
+    #: Fraction of the universe loaded during server startup; the rest
+    #: trickles in over the measurement ticks.
+    startup_load_fraction: float
+
+    # -- JIT -------------------------------------------------------------
+    jit_code_bytes: int
+    jit_work_bytes: int
+
+    # -- Java heap -------------------------------------------------------
+    #: Resident fraction of -Xmx at steady state.
+    heap_touched_fraction: float
+    #: Free space zero-filled by each GC (soon re-dirtied by allocation).
+    gc_zero_tail_bytes: int
+    #: Fraction of touched heap pages re-dirtied per tick by allocation,
+    #: object movement and header updates.
+    heap_dirty_fraction: float
+
+    # -- JVM work area ----------------------------------------------------
+    #: NIO socket buffers whose content is identical across VMs running the
+    #: same driver and data (≈half of the baseline work-area sharing).
+    nio_buffer_bytes: int
+    #: Zero pages: unused parts of malloc-arena blocks plus data structures
+    #: allocated in bulk but not yet used.
+    zero_slack_bytes: int
+    #: Private read-write work-area memory.
+    private_work_bytes: int
+
+    # -- code area ---------------------------------------------------------
+    #: File-backed executable/library mappings (identical across VMs with
+    #: the same JVM/middleware version).
+    code_file_bytes: int
+    #: Private data areas of the shared libraries.
+    code_data_bytes: int
+
+    # -- stacks -----------------------------------------------------------
+    thread_count: int
+    stack_bytes_per_thread: int
+
+    # -- performance model (Figs. 7-8) -------------------------------------
+    #: Healthy per-VM throughput with no memory pressure.
+    base_throughput_per_vm: float
+    #: SPECjEnterprise only: EjOPS per VM at the fixed injection rate.
+    ejops_per_vm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.startup_load_fraction <= 1.0:
+            raise ValueError("startup_load_fraction must be in [0, 1]")
+        if not 0.0 < self.heap_touched_fraction <= 1.0:
+            raise ValueError("heap_touched_fraction must be in (0, 1]")
+        if not 0.0 <= self.heap_dirty_fraction <= 1.0:
+            raise ValueError("heap_dirty_fraction must be in [0, 1]")
+        if self.middleware_classes < 0 or self.jcl_classes < 0:
+            raise ValueError("class counts must be non-negative")
+
+    @property
+    def cacheable_classes(self) -> int:
+        """Classes an -Xshareclasses JVM can preload."""
+        return self.middleware_classes + self.jcl_classes
+
+    @property
+    def total_classes(self) -> int:
+        return self.cacheable_classes + self.app_classes

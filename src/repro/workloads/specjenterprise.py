@@ -1,0 +1,39 @@
+"""SPECjEnterprise 2010 on WebSphere 7.0.0.15.
+
+A transactional benchmark simulating automobile manufacturing and sales
+(Table III: injection rate 15, 730 MB heap, 1.25 GB guests).  The score at
+injection rate 15 on the paper's machine is ≈24 EjOPS; the Fig. 8
+consolidation run uses the gencon GC policy (530 MB nursery + 200 MB
+tenured) and an SLA on response time.
+"""
+
+from __future__ import annotations
+
+from repro.config import Benchmark
+from repro.units import KiB, MiB
+from repro.workloads.profile import WorkloadProfile
+
+SPECJ_PROFILE = WorkloadProfile(
+    benchmark=Benchmark.SPECJENTERPRISE,
+    middleware_id="was-7.0.0.15",
+    middleware_classes=18_000,
+    jcl_classes=2_000,
+    app_classes=900,  # a larger EJB application than DayTrader
+    avg_rom_bytes=4_000,
+    avg_ram_bytes=420,
+    startup_load_fraction=0.85,
+    jit_code_bytes=60 * MiB,
+    jit_work_bytes=25 * MiB,
+    heap_touched_fraction=0.82,
+    gc_zero_tail_bytes=5 * MiB,
+    heap_dirty_fraction=0.3,
+    nio_buffer_bytes=5 * MiB,
+    zero_slack_bytes=5 * MiB,
+    private_work_bytes=60 * MiB,
+    code_file_bytes=11 * MiB,
+    code_data_bytes=4 * MiB,
+    thread_count=50,
+    stack_bytes_per_thread=256 * KiB,
+    base_throughput_per_vm=0.0,  # driven by injection rate, not open load
+    ejops_per_vm=24.0,
+)

@@ -1,0 +1,38 @@
+"""TPC-W (Java servlet implementation) on WebSphere 7.0.0.15.
+
+An online-bookstore Web benchmark (Table III: 10 client threads, 512 MB
+heap, the Wisconsin Java implementation).  Appears in the mixed-application
+experiment of Figs. 3(b)/5(b), where each of three guest VMs runs a
+different application inside the same WAS version — so middleware classes
+and code still match across VMs, but NIO buffer contents do not.
+"""
+
+from __future__ import annotations
+
+from repro.config import Benchmark
+from repro.units import KiB, MiB
+from repro.workloads.profile import WorkloadProfile
+
+TPCW_PROFILE = WorkloadProfile(
+    benchmark=Benchmark.TPCW,
+    middleware_id="was-7.0.0.15",
+    middleware_classes=18_000,
+    jcl_classes=2_000,
+    app_classes=250,  # servlets, no EJB tier
+    avg_rom_bytes=4_000,
+    avg_ram_bytes=420,
+    startup_load_fraction=0.85,
+    jit_code_bytes=50 * MiB,
+    jit_work_bytes=20 * MiB,
+    heap_touched_fraction=0.80,
+    gc_zero_tail_bytes=4 * MiB,
+    heap_dirty_fraction=0.25,
+    nio_buffer_bytes=3 * MiB,
+    zero_slack_bytes=4 * MiB,
+    private_work_bytes=50 * MiB,
+    code_file_bytes=11 * MiB,
+    code_data_bytes=4 * MiB,
+    thread_count=30,
+    stack_bytes_per_thread=256 * KiB,
+    base_throughput_per_vm=28.0,
+)

@@ -1,0 +1,38 @@
+"""Apache Tuscany 1.6.2 running the bigbank demo.
+
+The paper's non-WAS data point (Figs. 3(c)/5(c)): Tuscany is SCA
+middleware that runs standalone, with a much smaller footprint — 32 MB
+heap, a 25 MB shared class cache, 7 client threads (Table III).  It shows
+that neither the TPS-ineffectiveness finding nor the preloading fix is
+specific to WebSphere.
+"""
+
+from __future__ import annotations
+
+from repro.config import Benchmark
+from repro.units import KiB, MiB
+from repro.workloads.profile import WorkloadProfile
+
+TUSCANY_PROFILE = WorkloadProfile(
+    benchmark=Benchmark.TUSCANY_BIGBANK,
+    middleware_id="tuscany-1.6.2",
+    middleware_classes=3_800,
+    jcl_classes=1_200,
+    app_classes=60,  # the bigbank demo composite
+    avg_rom_bytes=3_400,  # mean ~4.4 KiB: ~22 MB of ROM fits the 25 MB cache
+    avg_ram_bytes=420,
+    startup_load_fraction=0.9,
+    jit_code_bytes=18 * MiB,
+    jit_work_bytes=8 * MiB,
+    heap_touched_fraction=0.9,
+    gc_zero_tail_bytes=1 * MiB,
+    heap_dirty_fraction=0.3,
+    nio_buffer_bytes=1 * MiB + 512 * KiB,
+    zero_slack_bytes=2 * MiB,
+    private_work_bytes=20 * MiB,
+    code_file_bytes=11 * MiB,
+    code_data_bytes=4 * MiB,
+    thread_count=16,
+    stack_bytes_per_thread=256 * KiB,
+    base_throughput_per_vm=20.0,
+)

@@ -1,0 +1,110 @@
+"""Shared fixtures: small hosts, guests and workloads for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Benchmark, GcPolicy, JvmConfig, WorkloadConfig
+from repro.guestos.kernel import GuestKernel, KernelProfile
+from repro.hypervisor.kvm import KvmHost
+from repro.ksm.scanner import KsmConfig
+from repro.units import KiB, MiB
+from repro.workloads.base import Workload
+from repro.workloads.profile import WorkloadProfile
+
+TEST_SEED = 1234
+
+
+@pytest.fixture
+def host():
+    """A small KVM host (64 MiB RAM, 4 KiB pages)."""
+    return KvmHost(64 * MiB, seed=TEST_SEED)
+
+
+@pytest.fixture
+def guest(host):
+    """One booted 16 MiB guest with a tiny kernel footprint."""
+    vm = host.create_guest("vm1", 16 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("guest", "vm1"))
+    kernel.boot(tiny_kernel_profile())
+    return host, vm, kernel
+
+
+def tiny_kernel_profile() -> KernelProfile:
+    return KernelProfile(
+        image_id="test-image",
+        code_bytes=64 * KiB,
+        shared_pagecache_bytes=128 * KiB,
+        private_data_bytes=128 * KiB,
+        buffers_bytes=64 * KiB,
+    )
+
+
+def tiny_profile(
+    benchmark: Benchmark = Benchmark.DAYTRADER, **overrides
+) -> WorkloadProfile:
+    """A miniature workload profile for unit tests (sub-second runs)."""
+    values = dict(
+        benchmark=benchmark,
+        middleware_id="test-mw-1.0",
+        middleware_classes=40,
+        jcl_classes=10,
+        app_classes=6,
+        avg_rom_bytes=3_000,
+        avg_ram_bytes=400,
+        startup_load_fraction=0.8,
+        jit_code_bytes=128 * KiB,
+        jit_work_bytes=32 * KiB,
+        heap_touched_fraction=0.8,
+        gc_zero_tail_bytes=32 * KiB,
+        heap_dirty_fraction=0.3,
+        nio_buffer_bytes=32 * KiB,
+        zero_slack_bytes=32 * KiB,
+        private_work_bytes=64 * KiB,
+        code_file_bytes=64 * KiB,
+        code_data_bytes=16 * KiB,
+        thread_count=3,
+        stack_bytes_per_thread=16 * KiB,
+        base_throughput_per_vm=10.0,
+        ejops_per_vm=24.0,
+    )
+    values.update(overrides)
+    return WorkloadProfile(**values)
+
+
+def tiny_jvm_config(**overrides) -> JvmConfig:
+    values = dict(
+        heap_bytes=1 * MiB,
+        shared_cache_bytes=512 * KiB,
+        share_classes=False,
+        cache_name="testcache",
+        gc_policy=GcPolicy.OPTTHRUPUT,
+    )
+    values.update(overrides)
+    return JvmConfig(**values)
+
+
+def tiny_workload(
+    benchmark: Benchmark = Benchmark.DAYTRADER,
+    profile_overrides=None,
+    jvm_overrides=None,
+) -> Workload:
+    profile = tiny_profile(benchmark, **(profile_overrides or {}))
+    jvm_config = tiny_jvm_config(**(jvm_overrides or {}))
+    driver = WorkloadConfig(benchmark, client_threads=4)
+    return Workload(profile, jvm_config, driver)
+
+
+@pytest.fixture
+def workload():
+    return tiny_workload()
+
+
+@pytest.fixture
+def fast_ksm_host():
+    """A host whose scanner covers everything in few cycles."""
+    return KvmHost(
+        64 * MiB,
+        ksm_config=KsmConfig(pages_to_scan=10_000, sleep_millisecs=10),
+        seed=TEST_SEED,
+    )

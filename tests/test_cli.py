@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "530 / 120 MB" in out
+
+    def test_fig3a_small(self, capsys):
+        assert main(["fig3a", "--scale", "0.02", "--ticks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Class metadata" in out
+        assert "vm1" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--scale", "0.02", "--ticks", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Guest kernel" in out
+        assert "TOTAL" in out
+
+    def test_fig6_small(self, capsys):
+        assert main(["fig6", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "before sharing" in out
+        assert "preloaded" in out
+
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "max acceptable VMs" in out
+
+    def test_scenario_with_deployment(self, capsys):
+        code = main([
+            "scenario", "tuscany3", "--deployment", "shared-copy",
+            "--scale", "0.1", "--ticks", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuscany3" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

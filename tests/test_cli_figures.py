@@ -1,0 +1,47 @@
+"""CLI coverage for the remaining figure subcommands (tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--scale", "0.02", "--ticks", "1"]
+
+
+class TestFigureCommands:
+    def test_fig3b(self, capsys):
+        assert main(["fig3b", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "vm2" in out  # the SPECj guest row
+
+    def test_fig3c(self, capsys):
+        assert main(["fig3c", "--scale", "0.1", "--ticks", "1"]) == 0
+        assert "Class metadata" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", *ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "TPS saving" in out or "usage total" in out
+
+    def test_fig5a(self, capsys):
+        assert main(["fig5a", *ARGS]) == 0
+        assert "shared-copy" in capsys.readouterr().out
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b", *ARGS]) == 0
+        capsys.readouterr()
+
+    def test_fig5c(self, capsys):
+        assert main(["fig5c", "--scale", "0.1", "--ticks", "1"]) == 0
+        capsys.readouterr()
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "max acceptable VMs" in out
+
+    def test_seed_changes_details(self, capsys):
+        assert main(["fig3a", *ARGS, "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig3a", *ARGS, "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # deterministic per seed

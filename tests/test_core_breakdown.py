@@ -1,0 +1,121 @@
+"""Unit tests for the Fig. 2/3 aggregation layer."""
+
+import pytest
+
+from repro.core.accounting import owner_oriented_accounting
+from repro.core.breakdown import (
+    VM_GROUPS,
+    java_breakdown,
+    vm_breakdown,
+)
+from repro.core.categories import MemoryCategory
+from repro.core.dump import collect_system_dump
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.units import MiB
+
+from tests.conftest import tiny_kernel_profile
+
+PAGE = 4096
+
+
+@pytest.fixture
+def accounting():
+    host = KvmHost(64 * MiB, seed=9)
+    kernels = {}
+    for name, pid_base in (("vm1", 400), ("vm2", 300)):
+        vm = host.create_guest(name, 4 * MiB)
+        kernel = GuestKernel(
+            vm, host.rng.derive("g", name), pid_base=pid_base
+        )
+        kernel.boot(tiny_kernel_profile())
+        kernels[name] = kernel
+        java = kernel.spawn("java")
+        heap = java.mmap_anon(2 * PAGE, "java:heap")
+        java.write_token(heap, 0, 77)
+        java.write_token(heap, 1, 1000 + pid_base)
+        work = java.mmap_anon(PAGE, "java:jvm-work")
+        java.write_token(work, 0, 2000 + pid_base)
+        daemon = kernel.spawn("sshd")
+        anon = daemon.mmap_anon(PAGE, "sshd:heap")
+        daemon.write_token(anon, 0, 3000 + pid_base)
+        vm.allocate_overhead(PAGE)
+    host.ksm.run_until_converged()
+    dump = collect_system_dump(host, kernels)
+    return owner_oriented_accounting(dump)
+
+
+class TestVmBreakdown:
+    def test_rows_in_vm_order(self, accounting):
+        breakdown = vm_breakdown(accounting)
+        assert [row.vm_name for row in breakdown.rows] == ["vm1", "vm2"]
+
+    def test_groups_present(self, accounting):
+        breakdown = vm_breakdown(accounting)
+        for row in breakdown.rows:
+            assert set(row.usage_bytes) == set(VM_GROUPS)
+
+    def test_group_values(self, accounting):
+        breakdown = vm_breakdown(accounting)
+        vm2 = breakdown.row("vm2")  # owns the shared java page
+        assert vm2.usage_bytes["java"] == 3 * PAGE
+        assert vm2.usage_bytes["other_processes"] == PAGE
+        assert vm2.usage_bytes["guest_vm"] == PAGE
+        assert vm2.usage_bytes["guest_kernel"] > 0
+        vm1 = breakdown.row("vm1")
+        assert vm1.usage_bytes["java"] == 2 * PAGE
+        assert vm1.shared_bytes["java"] == PAGE
+
+    def test_totals_conserve(self, accounting):
+        breakdown = vm_breakdown(accounting)
+        assert breakdown.total_usage() == accounting.total_usage()
+
+    def test_unknown_vm_raises(self, accounting):
+        with pytest.raises(KeyError):
+            vm_breakdown(accounting).row("vm9")
+
+
+class TestJavaBreakdown:
+    def test_one_row_per_jvm(self, accounting):
+        breakdown = java_breakdown(accounting)
+        assert len(breakdown.rows) == 2
+
+    def test_owner_is_smallest_pid(self, accounting):
+        breakdown = java_breakdown(accounting)
+        owner = breakdown.owner_row()
+        assert owner.vm_name == "vm2"
+        assert owner.shared_bytes() == 0
+        non_primary = breakdown.non_primary_rows()
+        assert len(non_primary) == 1
+        assert non_primary[0].shared_bytes() == PAGE
+
+    def test_category_split(self, accounting):
+        breakdown = java_breakdown(accounting)
+        for row in breakdown.rows:
+            heap = row.category(MemoryCategory.JAVA_HEAP)
+            assert heap.total_bytes == 2 * PAGE
+            work = row.category(MemoryCategory.JVM_WORK)
+            assert work.total_bytes == PAGE
+
+    def test_work_area_merging(self, accounting):
+        breakdown = java_breakdown(accounting)
+        row = breakdown.rows[0]
+        merged = row.work_area()
+        jit = row.category(MemoryCategory.JIT_WORK)
+        jvm = row.category(MemoryCategory.JVM_WORK)
+        assert merged.total_bytes == jit.total_bytes + jvm.total_bytes
+
+    def test_shared_fraction(self, accounting):
+        breakdown = java_breakdown(accounting)
+        non_primary = breakdown.non_primary_rows()[0]
+        assert non_primary.shared_fraction(
+            MemoryCategory.JAVA_HEAP
+        ) == pytest.approx(0.5)
+        assert non_primary.shared_fraction(
+            MemoryCategory.JIT_CODE
+        ) == 0.0
+
+    def test_total_bytes_is_bar_length(self, accounting):
+        breakdown = java_breakdown(accounting)
+        for row in breakdown.rows:
+            assert row.total_bytes() == row.usage_bytes() + row.shared_bytes()

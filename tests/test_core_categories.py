@@ -1,0 +1,56 @@
+"""Unit tests for the Table-IV category classifier."""
+
+from repro.core.categories import (
+    FIGURE_ORDER,
+    MemoryCategory,
+    WORK_GROUP,
+    categorize_tag,
+    is_java_tag,
+)
+
+
+class TestCategorizeTag:
+    def test_all_jvm_tags_classified(self):
+        cases = {
+            "java:code": MemoryCategory.CODE,
+            "java:code-data": MemoryCategory.CODE,
+            "java:class-metadata": MemoryCategory.CLASS_METADATA,
+            "java:scc": MemoryCategory.CLASS_METADATA,
+            "java:jit-code": MemoryCategory.JIT_CODE,
+            "java:jit-work": MemoryCategory.JIT_WORK,
+            "java:heap": MemoryCategory.JAVA_HEAP,
+            "java:jvm-work": MemoryCategory.JVM_WORK,
+            "java:jvm-work:nio": MemoryCategory.JVM_WORK,
+            "java:jvm-work:slack": MemoryCategory.JVM_WORK,
+            "java:stack": MemoryCategory.STACK,
+        }
+        for tag, expected in cases.items():
+            assert categorize_tag(tag) is expected, tag
+
+    def test_non_java_tags_unclassified(self):
+        for tag in ("sshd:text", "kernel:code", "anon", "qemu"):
+            assert categorize_tag(tag) is None
+            assert not is_java_tag(tag)
+
+    def test_prefix_requires_separator(self):
+        """'java:codex' must not classify as the code area."""
+        assert categorize_tag("java:codex") is None
+
+    def test_sub_tags_of_work_area(self):
+        assert categorize_tag("java:jvm-work:whatever") is (
+            MemoryCategory.JVM_WORK
+        )
+
+
+class TestDisplay:
+    def test_figure_order_covers_all(self):
+        assert set(FIGURE_ORDER) == set(MemoryCategory)
+
+    def test_work_group(self):
+        assert MemoryCategory.JIT_WORK in WORK_GROUP
+        assert MemoryCategory.JVM_WORK in WORK_GROUP
+
+    def test_display_names(self):
+        assert MemoryCategory.CLASS_METADATA.display_name == "Class metadata"
+        for category in MemoryCategory:
+            assert category.display_name

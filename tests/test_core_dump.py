@@ -1,0 +1,136 @@
+"""Unit tests for system-dump collection (the §II.B tooling)."""
+
+import pytest
+
+from repro.core.dump import (
+    DumpUnanalyzableError,
+    collect_system_dump,
+    dump_guest,
+    read_kvm_memslots,
+)
+from repro.guestos.kernel import GuestKernel, OwnerKind
+from repro.guestos.pagecache import BackingFile
+from repro.hypervisor.kvm import KvmHost
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def build_small_host(debug_guest=True):
+    host = KvmHost(64 * MiB, seed=9)
+    kernels = {}
+    for name in ("vm1", "vm2"):
+        vm = host.create_guest(name, 4 * MiB)
+        kernel = GuestKernel(
+            vm, host.rng.derive("g", name), debug_kernel=debug_guest
+        )
+        kernels[name] = kernel
+        java = kernel.spawn("java")
+        heap = java.mmap_anon(2 * PAGE, "java:heap")
+        java.write_tokens(heap, [1, 2])
+        code = java.mmap_file(
+            BackingFile("jdk:lib", PAGE, PAGE), "java:code"
+        )
+        java.fault_file_pages(code)
+        daemon = kernel.spawn("sshd")
+        anon = daemon.mmap_anon(PAGE, "sshd:heap")
+        daemon.write_token(anon, 0, 7)
+        vm.allocate_overhead(PAGE)
+    return host, kernels
+
+
+class TestKernelModule:
+    def test_read_kvm_memslots(self):
+        host, _kernels = build_small_host()
+        vm = host.guest("vm1")
+        slots = read_kvm_memslots(vm)
+        assert len(slots) == 1
+        assert slots[0].npages == vm.guest_npages
+
+
+class TestGuestDump:
+    def test_dump_guest_contents(self):
+        host, kernels = build_small_host()
+        dump = dump_guest(host.guest("vm1"), kernels["vm1"], 0)
+        assert dump.vm_name == "vm1"
+        names = {p.name for p in dump.processes}
+        assert names == {"java", "sshd"}
+        java = next(p for p in dump.processes if p.name == "java")
+        assert java.is_java
+        assert len(java.page_table) == 3  # 2 heap pages + 1 code page
+        sshd = next(p for p in dump.processes if p.name == "sshd")
+        assert not sshd.is_java
+
+    def test_non_debug_kernel_refused(self):
+        host, kernels = build_small_host(debug_guest=False)
+        with pytest.raises(DumpUnanalyzableError):
+            dump_guest(host.guest("vm1"), kernels["vm1"], 0)
+
+    def test_vma_records(self):
+        host, kernels = build_small_host()
+        dump = dump_guest(host.guest("vm1"), kernels["vm1"], 0)
+        java = next(p for p in dump.processes if p.name == "java")
+        tags = {vma.tag for vma in java.vmas}
+        assert tags == {"java:heap", "java:code"}
+        code = next(v for v in java.vmas if v.tag == "java:code")
+        assert code.file_id == "jdk:lib"
+
+    def test_vma_lookup(self):
+        host, kernels = build_small_host()
+        dump = dump_guest(host.guest("vm1"), kernels["vm1"], 0)
+        java = next(p for p in dump.processes if p.name == "java")
+        heap = next(v for v in java.vmas if v.tag == "java:heap")
+        assert java.vma_of(heap.start_vpn).tag == "java:heap"
+        assert java.vma_of(10**9) is None
+
+    def test_gfn_owners_included(self):
+        host, kernels = build_small_host()
+        dump = dump_guest(host.guest("vm1"), kernels["vm1"], 0)
+        kinds = {owner.kind for owner in dump.gfn_owners.values()}
+        assert OwnerKind.PROCESS_ANON in kinds
+        assert OwnerKind.PAGE_CACHE in kinds
+
+
+class TestSystemDump:
+    def test_collect_all_layers(self):
+        host, kernels = build_small_host()
+        dump = collect_system_dump(host, kernels)
+        assert len(dump.guests) == 2
+        assert "host:qemu-vm1" in dump.host.page_tables
+        assert dump.host.page_size == PAGE
+        assert dump.frame_tokens  # tokens captured for diagnostics
+
+    def test_non_debug_host_refused(self):
+        host, kernels = build_small_host()
+        with pytest.raises(DumpUnanalyzableError):
+            collect_system_dump(host, kernels, host_debug_kernel=False)
+
+    def test_guest_lookup(self):
+        host, kernels = build_small_host()
+        dump = collect_system_dump(host, kernels)
+        assert dump.guest("vm2").vm_name == "vm2"
+        with pytest.raises(KeyError):
+            dump.guest("vm3")
+
+    def test_dump_is_a_snapshot(self):
+        """Post-dump writes must not leak into the collected dump."""
+        host, kernels = build_small_host()
+        dump = collect_system_dump(host, kernels)
+        java = kernels["vm1"].process(
+            next(
+                p.pid
+                for p in dump.guest("vm1").processes
+                if p.name == "java"
+            )
+        )
+        before = dict(dump.guest("vm1").processes[0].page_table)
+        extra = java.mmap_anon(PAGE, "java:heap")
+        java.write_token(extra, 0, 99)
+        assert dict(dump.guest("vm1").processes[0].page_table) == before
+
+    def test_guests_without_kernel_info_skipped(self):
+        host, kernels = build_small_host()
+        dump = collect_system_dump(host, {"vm1": kernels["vm1"]})
+        assert len(dump.guests) == 1
+        # The undumped guest's pages still show in the host dump.
+        assert "host:qemu-vm2" in dump.host.page_tables

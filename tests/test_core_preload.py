@@ -1,0 +1,84 @@
+"""Unit tests for the cache-deployment flows (§IV.C)."""
+
+import pytest
+
+from repro.core.preload import (
+    CacheDeployment,
+    CacheProvisioner,
+    build_cache_for_image,
+)
+from repro.sim.rng import RngFactory
+
+from tests.conftest import tiny_workload
+
+PAGE = 4096
+
+
+class TestBuildCacheForImage:
+    def test_cache_is_populated_and_sealed(self):
+        workload = tiny_workload()
+        base = build_cache_for_image(workload, PAGE, RngFactory(1))
+        assert base.layout.sealed
+        assert base.layout.stored_classes == len(
+            workload.universe().cacheable_classes()
+        )
+        assert base.master_file.size_bytes == (
+            workload.jvm_config.shared_cache_bytes
+        )
+
+    def test_copy_for_vm_preserves_content(self):
+        workload = tiny_workload()
+        base = build_cache_for_image(workload, PAGE, RngFactory(1))
+        a = base.copy_for_vm("vm1")
+        b = base.copy_for_vm("vm2")
+        assert a.backing.file_id != b.backing.file_id
+        assert [a.backing.page_token(i) for i in range(a.backing.npages)] == [
+            b.backing.page_token(i) for i in range(b.backing.npages)
+        ]
+        assert a.layout is b.layout is base.layout
+
+
+class TestProvisioner:
+    def test_none_deployment(self):
+        provisioner = CacheProvisioner(
+            CacheDeployment.NONE, PAGE, RngFactory(1)
+        )
+        assert provisioner.cache_for(tiny_workload(), "vm1") is None
+
+    def test_shared_copy_single_master(self):
+        workload = tiny_workload()
+        provisioner = CacheProvisioner(
+            CacheDeployment.SHARED_COPY, PAGE, RngFactory(1)
+        )
+        a = provisioner.cache_for(workload, "vm1")
+        b = provisioner.cache_for(workload, "vm2")
+        assert a.layout is b.layout
+        assert [a.backing.page_token(i) for i in range(a.backing.npages)] == [
+            b.backing.page_token(i) for i in range(b.backing.npages)
+        ]
+
+    def test_per_vm_layouts_differ(self):
+        workload = tiny_workload()
+        provisioner = CacheProvisioner(
+            CacheDeployment.PER_VM, PAGE, RngFactory(1)
+        )
+        a = provisioner.cache_for(workload, "vm1")
+        b = provisioner.cache_for(workload, "vm2")
+        assert a.layout is not b.layout
+        tokens_a = [a.backing.page_token(i) for i in range(a.backing.npages)]
+        tokens_b = [b.backing.page_token(i) for i in range(b.backing.npages)]
+        assert tokens_a != tokens_b
+
+    def test_same_middleware_same_cache_across_benchmarks(self):
+        """All WAS workloads share the default WAS cache name, so one
+        master file serves DayTrader, SPECj and TPC-W (§IV.B)."""
+        from repro.config import Benchmark
+
+        daytrader = tiny_workload(Benchmark.DAYTRADER)
+        tpcw = tiny_workload(Benchmark.TPCW)
+        provisioner = CacheProvisioner(
+            CacheDeployment.SHARED_COPY, PAGE, RngFactory(1)
+        )
+        a = provisioner.cache_for(daytrader, "vm1")
+        b = provisioner.cache_for(tpcw, "vm2")
+        assert a.layout is b.layout

@@ -1,0 +1,78 @@
+"""Unit tests for the text report renderers."""
+
+from repro.core.accounting import CategoryUsage, OwnerAccounting, UserKey, UserKind
+from repro.core.breakdown import (
+    JavaBreakdown,
+    JavaProcessRow,
+    VmBreakdown,
+    VmRow,
+    VM_GROUPS,
+)
+from repro.core.categories import MemoryCategory
+from repro.core.report import (
+    fmt_mb,
+    render_java_breakdown,
+    render_kv,
+    render_series,
+    render_vm_breakdown,
+)
+from repro.units import MiB
+
+
+def make_vm_breakdown():
+    rows = []
+    for index, name in enumerate(("vm1", "vm2")):
+        rows.append(
+            VmRow(
+                vm_name=name,
+                vm_index=index,
+                usage_bytes={g: (index + 1) * MiB for g in VM_GROUPS},
+                shared_bytes={g: index * MiB for g in VM_GROUPS},
+            )
+        )
+    return VmBreakdown(rows=rows)
+
+
+def make_java_breakdown():
+    rows = []
+    for index, name in enumerate(("vm1", "vm2")):
+        row = JavaProcessRow(vm_name=name, vm_index=index, pid=300 + index)
+        for category in MemoryCategory:
+            row.categories[category] = CategoryUsage(
+                usage_bytes=2 * MiB, shared_bytes=index * MiB
+            )
+        rows.append(row)
+    return JavaBreakdown(rows=rows)
+
+
+class TestRenderers:
+    def test_fmt_mb(self):
+        assert fmt_mb(3 * MiB).strip() == "3.0"
+
+    def test_vm_breakdown_contains_rows_and_totals(self):
+        text = render_vm_breakdown(make_vm_breakdown(), "Fig. 2")
+        assert "Fig. 2" in text
+        assert "vm1" in text and "vm2" in text
+        assert "TOTAL" in text
+        assert "Guest kernel" in text
+
+    def test_java_breakdown_contains_categories(self):
+        text = render_java_breakdown(make_java_breakdown(), "Fig. 3(a)")
+        assert "Class metadata" in text
+        assert "JVM and JIT work" in text
+        assert "vm1:pid300" in text
+
+    def test_series(self):
+        text = render_series(
+            "Fig. 7",
+            "VMs",
+            [1, 2],
+            {"default": [10.0, 20.0], "preloaded": [11.0, 21.0]},
+        )
+        assert "Fig. 7" in text
+        assert "default" in text and "preloaded" in text
+        assert "21.0" in text
+
+    def test_kv(self):
+        text = render_kv("Check", [("saving", "181 MB")])
+        assert "saving" in text and "181 MB" in text

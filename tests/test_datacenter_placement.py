@@ -1,0 +1,118 @@
+"""Integration tests for sharing-aware placement (Memory Buddies, §VI)."""
+
+import pytest
+
+from repro.config import Benchmark
+from repro.core.experiments.testbed import scale_workload
+from repro.core.preload import CacheDeployment
+from repro.datacenter.placement import (
+    Datacenter,
+    FirstFitPolicy,
+    PlacementError,
+    SharingAwarePolicy,
+    VmRequest,
+)
+from repro.units import MiB
+from repro.workloads.base import build_workload
+
+from tests.conftest import tiny_kernel_profile
+
+SCALE = 0.03
+
+
+def make_datacenter(hosts=2, host_ram=64 * MiB):
+    return Datacenter(
+        host_count=hosts,
+        host_ram_bytes=host_ram,
+        kernel_profile=tiny_kernel_profile(),
+        deployment=CacheDeployment.SHARED_COPY,
+        qemu_overhead_bytes=1 << 16,
+    )
+
+
+def request(name, benchmark=Benchmark.DAYTRADER, preload=True):
+    workload = scale_workload(build_workload(benchmark), SCALE)
+    return VmRequest(name, workload, 48 * MiB, preload=preload)
+
+
+class TestFirstFit:
+    def test_fills_hosts_in_order(self):
+        datacenter = make_datacenter(hosts=2, host_ram=128 * MiB)
+        policy = FirstFitPolicy()
+        for index in range(3):
+            datacenter.place(request(f"vm{index}"), policy)
+        assert datacenter.placement_of("vm0") == "host1"
+        assert datacenter.placement_of("vm1") == "host1"
+        assert datacenter.placement_of("vm2") == "host2"
+
+    def test_rejects_when_full(self):
+        datacenter = make_datacenter(hosts=1, host_ram=64 * MiB)
+        policy = FirstFitPolicy()
+        datacenter.place(request("vm0"), policy)
+        with pytest.raises(PlacementError):
+            datacenter.place(request("vm1"), policy)
+
+    def test_duplicate_name_rejected(self):
+        datacenter = make_datacenter(hosts=2, host_ram=128 * MiB)
+        policy = FirstFitPolicy()
+        datacenter.place(request("vm0"), policy)
+        with pytest.raises(ValueError):
+            datacenter.place(request("vm0"), policy)
+
+
+class TestSharingAware:
+    def test_collocates_with_the_matching_seed(self):
+        """One DayTrader and one Tuscany VM already run on separate hosts;
+        the sharing-aware policy routes each newcomer to its twin (the
+        policy also sees the cross-workload sharing — same JVM build, same
+        kernel image — but the same-workload host always scores higher)."""
+        datacenter = make_datacenter(hosts=2, host_ram=128 * MiB)
+        datacenter.place_on(request("dt1", Benchmark.DAYTRADER), "host1")
+        datacenter.place_on(
+            request("tu1", Benchmark.TUSCANY_BIGBANK), "host2"
+        )
+        policy = SharingAwarePolicy(bits=1 << 17)
+        datacenter.place(request("tu2", Benchmark.TUSCANY_BIGBANK), policy)
+        datacenter.place(request("dt2", Benchmark.DAYTRADER), policy)
+        assert datacenter.placement_of("dt2") == "host1"
+        assert datacenter.placement_of("tu2") == "host2"
+
+    def test_beats_first_fit_on_saved_memory(self):
+        """The point of the policy: collocated identical workloads merge
+        more memory after KSM converges."""
+
+        def run(policy):
+            datacenter = make_datacenter(hosts=2, host_ram=128 * MiB)
+            datacenter.place_on(
+                request("dt1", Benchmark.DAYTRADER), "host1"
+            )
+            datacenter.place_on(
+                request("tu1", Benchmark.TUSCANY_BIGBANK), "host2"
+            )
+            # Arrival order that misleads first-fit (host1 has room).
+            datacenter.place(
+                request("tu2", Benchmark.TUSCANY_BIGBANK), policy
+            )
+            datacenter.place(request("dt2", Benchmark.DAYTRADER), policy)
+            datacenter.converge_all()
+            return datacenter.total_saved_bytes()
+
+        first_fit_saved = run(FirstFitPolicy())
+        sharing_saved = run(SharingAwarePolicy(bits=1 << 17))
+        assert sharing_saved > first_fit_saved * 1.2
+
+    def test_respects_capacity(self):
+        datacenter = make_datacenter(hosts=1, host_ram=64 * MiB)
+        policy = SharingAwarePolicy()
+        datacenter.place(request("vm0"), policy)
+        with pytest.raises(PlacementError):
+            datacenter.place(request("vm1"), policy)
+
+    def test_reference_fingerprint_cached(self):
+        datacenter = make_datacenter(hosts=2, host_ram=128 * MiB)
+        req = request("vm0")
+        a = datacenter.reference_fingerprint(req, 1 << 12, 4)
+        b = datacenter.reference_fingerprint(
+            request("vm1"), 1 << 12, 4
+        )
+        assert a is b  # same workload+preload => cached

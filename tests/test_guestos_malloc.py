@@ -1,0 +1,110 @@
+"""Unit tests for the glibc malloc model (§III.B alignment behaviour)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.malloc import (
+    CHUNK_HEADER,
+    MMAP_THRESHOLD,
+    MallocModel,
+)
+from repro.hypervisor.kvm import KvmHost
+from repro.units import KiB, MiB
+
+PAGE = 4096
+
+
+def make_process(seed=3, vm_name="vm1"):
+    host = KvmHost(128 * MiB, seed=seed)
+    vm = host.create_guest(vm_name, 32 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", vm_name))
+    return host, kernel.spawn("java")
+
+
+class TestMmapPath:
+    def test_large_allocation_uses_mmap(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        block = malloc.malloc(MMAP_THRESHOLD)
+        assert block.from_mmap
+
+    def test_mmap_block_fixed_page_offset(self):
+        """≥128 KiB blocks start at a fixed offset from a page boundary in
+        every process — the paper's native-sharing argument."""
+        offsets = []
+        for seed in (1, 2, 3):
+            host, process = make_process(seed=seed)
+            malloc = MallocModel(process, host.rng.derive("m"))
+            block = malloc.malloc(256 * KiB)
+            offsets.append(block.page_offset)
+        assert offsets == [CHUNK_HEADER] * 3
+
+    def test_mmap_block_own_vma(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        a = malloc.malloc(256 * KiB)
+        b = malloc.malloc(256 * KiB)
+        assert a.vma is not b.vma
+
+
+class TestArenaPath:
+    def test_small_allocation_uses_arena(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        block = malloc.malloc(100)
+        assert not block.from_mmap
+        assert malloc.arena_count == 1
+
+    def test_small_allocations_share_arena(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        a = malloc.malloc(100)
+        b = malloc.malloc(100)
+        assert a.vma is b.vma
+        assert b.offset_bytes > a.offset_bytes
+
+    def test_arena_offsets_differ_between_processes(self):
+        """The history-dependent arena start: same allocation sequence,
+        different page alignment per process."""
+        offsets = set()
+        for seed in range(6):
+            host, process = make_process(seed=seed)
+            malloc = MallocModel(process, host.rng.derive("m"))
+            offsets.add(malloc.malloc(100).page_offset)
+        assert len(offsets) > 1
+
+    def test_arena_alignment(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        for size in (10, 100, 1000):
+            block = malloc.malloc(size)
+            assert block.offset_bytes % CHUNK_HEADER == 0
+
+    def test_arena_grows_when_full(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        for _ in range(40):
+            malloc.malloc(120 * KiB)  # below the mmap threshold
+        assert malloc.arena_count > 1
+
+    def test_zero_size_rejected(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        with pytest.raises(ValueError):
+            malloc.malloc(0)
+
+
+class TestBlockGeometry:
+    def test_first_page_and_offset(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        block = malloc.malloc(256 * KiB)
+        assert block.first_page == 0
+        assert block.page_offset == block.offset_bytes % PAGE
+
+    def test_blocks_recorded(self):
+        host, process = make_process()
+        malloc = MallocModel(process, host.rng.derive("m"))
+        malloc.malloc(10)
+        malloc.malloc(MMAP_THRESHOLD)
+        assert len(malloc.blocks) == 2

@@ -1,0 +1,109 @@
+"""Unit tests for backing files and the guest page cache."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.pagecache import BackingFile, zero_file
+from repro.hypervisor.kvm import KvmHost
+from repro.mem.content import ZERO_TOKEN
+from repro.units import MiB
+
+PAGE = 4096
+
+
+@pytest.fixture
+def kernel():
+    host = KvmHost(64 * MiB, seed=3)
+    vm = host.create_guest("vm1", 4 * MiB)
+    return GuestKernel(vm, host.rng.derive("g"))
+
+
+class TestBackingFile:
+    def test_generated_tokens_deterministic(self):
+        a = BackingFile("img:/f", 2 * PAGE, PAGE)
+        b = BackingFile("img:/f", 2 * PAGE, PAGE)
+        assert a.page_token(0) == b.page_token(0)
+        assert a.page_token(0) != a.page_token(1)
+
+    def test_different_ids_different_content(self):
+        a = BackingFile("img:/f", PAGE, PAGE)
+        b = BackingFile("img:/g", PAGE, PAGE)
+        assert a.page_token(0) != b.page_token(0)
+
+    def test_explicit_tokens(self):
+        f = BackingFile("f", 2 * PAGE, PAGE, tokens=[11, 22])
+        assert f.page_token(1) == 22
+
+    def test_token_list_length_checked(self):
+        with pytest.raises(ValueError):
+            BackingFile("f", 2 * PAGE, PAGE, tokens=[1])
+
+    def test_out_of_range_page(self):
+        f = BackingFile("f", PAGE, PAGE)
+        with pytest.raises(IndexError):
+            f.page_token(1)
+
+    def test_copy_preserves_content_identity(self):
+        """A file copy is byte-identical: the paper's cache-copy step."""
+        original = BackingFile("src", 3 * PAGE, PAGE)
+        copy = original.copy_as("dst")
+        assert copy.file_id == "dst"
+        assert [copy.page_token(i) for i in range(3)] == [
+            original.page_token(i) for i in range(3)
+        ]
+
+    def test_zero_file(self):
+        f = zero_file("sparse", 2 * PAGE, PAGE)
+        assert f.page_token(0) == ZERO_TOKEN
+        assert f.page_token(1) == ZERO_TOKEN
+
+    def test_npages_rounds_up(self):
+        assert BackingFile("f", PAGE + 1, PAGE).npages == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BackingFile("f", -1, PAGE)
+
+
+class TestPageCache:
+    def test_miss_fills_cache(self, kernel):
+        backing = BackingFile("img:/f", 2 * PAGE, PAGE)
+        gfn = kernel.page_cache.page_gfn(backing, 0)
+        assert kernel.vm.read_gfn(gfn) == backing.page_token(0)
+        assert kernel.page_cache.cached_pages == 1
+
+    def test_hit_returns_same_gfn(self, kernel):
+        backing = BackingFile("img:/f", PAGE, PAGE)
+        first = kernel.page_cache.page_gfn(backing, 0)
+        second = kernel.page_cache.page_gfn(backing, 0)
+        assert first == second
+        assert kernel.page_cache.cached_pages == 1
+
+    def test_mapcount_tracking(self, kernel):
+        backing = BackingFile("img:/f", PAGE, PAGE)
+        kernel.page_cache.note_mapped(backing, 0)
+        kernel.page_cache.note_mapped(backing, 0)
+        assert kernel.page_cache.mapcount("img:/f", 0) == 2
+        kernel.page_cache.note_unmapped(backing, 0)
+        assert kernel.page_cache.mapcount("img:/f", 0) == 1
+        kernel.page_cache.note_unmapped(backing, 0)
+        assert kernel.page_cache.mapcount("img:/f", 0) == 0
+
+    def test_cached_bytes(self, kernel):
+        backing = BackingFile("img:/f", 3 * PAGE, PAGE)
+        for index in range(3):
+            kernel.page_cache.page_gfn(backing, index)
+        assert kernel.page_cache.cached_bytes() == 3 * PAGE
+
+    def test_same_file_two_guests_identical_tokens(self):
+        """Cross-VM: identical files cache identical page contents — the
+        raw material for KSM's kernel-area sharing."""
+        host = KvmHost(64 * MiB, seed=3)
+        tokens = []
+        for name in ("vm1", "vm2"):
+            vm = host.create_guest(name, 4 * MiB)
+            kernel = GuestKernel(vm, host.rng.derive("g", name))
+            backing = BackingFile("base:/usr/lib/libfoo", PAGE, PAGE)
+            gfn = kernel.page_cache.page_gfn(backing, 0)
+            tokens.append(vm.read_gfn(gfn))
+        assert tokens[0] == tokens[1]

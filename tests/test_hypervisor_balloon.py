@@ -1,0 +1,124 @@
+"""Unit tests for ballooning (the §VI alternative to TPS)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel, OwnerKind, PageOwner
+from repro.guestos.pagecache import BackingFile
+from repro.hypervisor.balloon import BalloonDriver, BalloonManager
+from repro.hypervisor.kvm import KvmHost
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def make_guest(host, name="vm1", memory=2 * MiB):
+    vm = host.create_guest(name, memory)
+    kernel = GuestKernel(vm, host.rng.derive("g", name))
+    return vm, kernel
+
+
+@pytest.fixture
+def host():
+    return KvmHost(64 * MiB, seed=5)
+
+
+class TestBalloonDriver:
+    def test_inflate_releases_host_backing(self, host):
+        vm, kernel = make_guest(host)
+        # Touch some pages, then free them in the guest (host still pays).
+        gfns = []
+        for _ in range(8):
+            gfn = kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+            vm.write_gfn(gfn, 123)
+            gfns.append(gfn)
+        for gfn in gfns:
+            kernel.free_gfn(gfn)
+        assert host.physmem.frames_in_use == 8  # dirty-free: host pays
+        balloon = BalloonDriver(vm, kernel)
+        reclaimed = balloon.inflate(8 * PAGE)
+        assert reclaimed == 8 * PAGE
+        assert host.physmem.frames_in_use == 0
+        assert balloon.inflated_bytes == 8 * PAGE
+
+    def test_inflate_evicts_clean_page_cache(self, host):
+        vm, kernel = make_guest(host)
+        backing = BackingFile("img:/data", 4 * PAGE, PAGE)
+        for index in range(4):
+            kernel.page_cache.page_gfn(backing, index)
+        # Exhaust the rest of guest memory so the free list is empty.
+        while True:
+            try:
+                kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="fill"))
+            except Exception:
+                break
+        balloon = BalloonDriver(vm, kernel)
+        reclaimed = balloon.inflate(4 * PAGE)
+        assert reclaimed == 4 * PAGE
+        assert kernel.page_cache.cached_pages == 0
+
+    def test_mapped_cache_pages_not_evicted(self, host):
+        vm, kernel = make_guest(host)
+        process = kernel.spawn("p")
+        backing = BackingFile("img:/bin", PAGE, PAGE)
+        vma = process.mmap_file(backing, "text")
+        process.fault_file_pages(vma)
+        evicted = kernel.page_cache.evict_unmapped(10)
+        assert evicted == 0
+        assert kernel.page_cache.cached_pages == 1
+
+    def test_deflate_returns_pages(self, host):
+        vm, kernel = make_guest(host)
+        balloon = BalloonDriver(vm, kernel)
+        balloon.inflate(4 * PAGE)
+        inflated = balloon.inflated_pages
+        returned = balloon.deflate(2 * PAGE)
+        assert returned == 2 * PAGE
+        assert balloon.inflated_pages == inflated - 2
+        # Returned pages are allocatable again.
+        kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="y"))
+
+    def test_mismatched_kernel_rejected(self, host):
+        vm1, kernel1 = make_guest(host, "vm1")
+        vm2, _kernel2 = make_guest(host, "vm2")
+        with pytest.raises(ValueError):
+            BalloonDriver(vm2, kernel1)
+
+    def test_inflate_stops_when_nothing_reclaimable(self, host):
+        vm, kernel = make_guest(host, memory=16 * PAGE)
+        balloon = BalloonDriver(vm, kernel)
+        reclaimed = balloon.inflate(64 * PAGE)  # more than the guest has
+        assert reclaimed <= 16 * PAGE
+
+
+class TestBalloonManager:
+    def test_noop_when_host_fits(self, host):
+        vm, kernel = make_guest(host)
+        manager = BalloonManager(host)
+        manager.attach(BalloonDriver(vm, kernel))
+        assert manager.rebalance() == []
+
+    def test_rebalance_reclaims_deficit(self):
+        host = KvmHost(1 * MiB, seed=5)  # tiny host: pressure guaranteed
+        vm, kernel = make_guest(host, memory=2 * MiB)
+        gfns = []
+        for _ in range(512):  # 2 MiB of touched guest pages
+            gfn = kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+            vm.write_gfn(gfn, 7)
+            gfns.append(gfn)
+        for gfn in gfns:  # freed in the guest, but the host still pays
+            kernel.free_gfn(gfn)
+        assert host.physmem.overcommitted_bytes > 0
+        manager = BalloonManager(host)
+        manager.attach(BalloonDriver(vm, kernel))
+        plans = manager.rebalance()
+        assert len(plans) == 1
+        assert plans[0].reclaimed_bytes > 0
+        assert host.physmem.overcommitted_bytes == 0
+
+    def test_double_attach_rejected(self, host):
+        vm, kernel = make_guest(host)
+        manager = BalloonManager(host)
+        driver = BalloonDriver(vm, kernel)
+        manager.attach(driver)
+        with pytest.raises(ValueError):
+            manager.attach(BalloonDriver(vm, kernel))

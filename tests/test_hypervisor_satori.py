@@ -1,0 +1,118 @@
+"""Unit tests for the Satori sharing-aware block device (§VI)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.pagecache import BackingFile
+from repro.hypervisor.kvm import KvmHost
+from repro.hypervisor.satori import SatoriRegistry
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def make_host(satori=True):
+    host = KvmHost(64 * MiB, seed=13)
+    if satori:
+        host.enable_satori()
+    return host
+
+
+def make_guest(host, name):
+    vm = host.create_guest(name, 4 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", name))
+    return vm, kernel
+
+
+class TestRegistry:
+    def test_first_fill_allocates(self):
+        host = make_host()
+        vm, kernel = make_guest(host, "vm1")
+        backing = BackingFile("img:/block", PAGE, PAGE)
+        kernel.page_cache.page_gfn(backing, 0)
+        assert host.satori.fills == 1
+        assert host.satori.immediate_shares == 0
+        assert host.satori.tracked_blocks == 1
+
+    def test_second_fill_shares_immediately(self):
+        """Two guests read the same disk block: one frame, no scanning."""
+        host = make_host()
+        backing = BackingFile("base:/usr/lib/libfoo", PAGE, PAGE)
+        for name in ("vm1", "vm2"):
+            _vm, kernel = make_guest(host, name)
+            kernel.page_cache.page_gfn(backing, 0)
+        assert host.satori.immediate_shares == 1
+        assert host.physmem.frames_in_use == 1
+        assert host.ksm.stats.pages_scanned == 0  # zero scanner work
+
+    def test_shared_fill_is_cow_protected(self):
+        host = make_host()
+        backing = BackingFile("base:/f", PAGE, PAGE)
+        guests = []
+        for name in ("vm1", "vm2"):
+            vm, kernel = make_guest(host, name)
+            gfn = kernel.page_cache.page_gfn(backing, 0)
+            guests.append((vm, gfn))
+        vm1, gfn1 = guests[0]
+        vm2, gfn2 = guests[1]
+        vm1.write_gfn(gfn1, 999)  # guest dirties its copy
+        assert vm2.read_gfn(gfn2) == backing.page_token(0)
+        assert vm1.read_gfn(gfn1) == 999
+
+    def test_kernel_boot_cache_shared_at_fill_time(self):
+        """Whole-image benefit: two guests booting from one base image
+        share their boot page cache with zero KSM effort."""
+        host = make_host()
+        from tests.conftest import tiny_kernel_profile
+
+        profile = tiny_kernel_profile()
+        for name in ("vm1", "vm2"):
+            vm, kernel = make_guest(host, name)
+            kernel.boot(profile)
+        assert host.satori.immediate_shares >= (
+            profile.shared_pagecache_bytes // PAGE
+        )
+
+    def test_disabled_by_default(self):
+        host = make_host(satori=False)
+        backing = BackingFile("base:/f", PAGE, PAGE)
+        for name in ("vm1", "vm2"):
+            _vm, kernel = make_guest(host, name)
+            kernel.page_cache.page_gfn(backing, 0)
+        assert host.satori is None
+        assert host.physmem.frames_in_use == 2  # KSM would merge later
+
+    def test_enable_is_idempotent(self):
+        host = make_host()
+        registry = host.satori
+        assert host.enable_satori() is registry
+
+    def test_prune_drops_dead_entries(self):
+        host = make_host()
+        vm, kernel = make_guest(host, "vm1")
+        backing = BackingFile("img:/b", PAGE, PAGE)
+        gfn = kernel.page_cache.page_gfn(backing, 0)
+        vm.release_gfn(gfn)  # frame freed
+        assert host.satori.prune() == 1
+        assert host.satori.tracked_blocks == 0
+
+    def test_saved_bytes(self):
+        host = make_host()
+        backing = BackingFile("base:/f", 2 * PAGE, PAGE)
+        for name in ("vm1", "vm2", "vm3"):
+            _vm, kernel = make_guest(host, name)
+            for index in range(2):
+                kernel.page_cache.page_gfn(backing, index)
+        # 3 guests x 2 pages = 6 fills, 2 frames => 4 immediate shares.
+        assert host.satori.saved_bytes() == 4 * PAGE
+
+    def test_ksm_coexists_with_satori(self):
+        """Satori-shared frames look like stable frames to KSM; the
+        scanner leaves them alone and they stay merged."""
+        host = make_host()
+        backing = BackingFile("base:/f", PAGE, PAGE)
+        for name in ("vm1", "vm2"):
+            _vm, kernel = make_guest(host, name)
+            kernel.page_cache.page_gfn(backing, 0)
+        host.ksm.run_until_converged()
+        assert host.physmem.frames_in_use == 1

@@ -1,0 +1,72 @@
+"""Tests for shared-cache compatibility validation (J9 build check)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.jvm.jvm import AttachedCache, JavaVM, populate_cache
+from repro.units import MiB
+
+from tests.conftest import tiny_workload
+
+PAGE = 4096
+
+
+def make_cache(workload, jvm_build_id):
+    layout = populate_cache(
+        workload.universe(),
+        workload.jvm_config.with_sharing(True),
+        PAGE,
+        creator_id="image",
+        rng=KvmHost(MiB, seed=5).rng.derive("pop"),
+        jvm_build_id=jvm_build_id,
+    )
+    return AttachedCache(
+        layout=layout, backing=layout.as_backing_file("scc")
+    )
+
+
+def make_jvm(cache, jvm_build_id="ibm-j9-java6-sr9"):
+    host = KvmHost(128 * MiB, seed=5)
+    workload = tiny_workload()
+    vm = host.create_guest("vm1", 16 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g"))
+    process = kernel.spawn("java")
+    return JavaVM(
+        process,
+        workload.jvm_config.with_sharing(True),
+        workload.profile,
+        workload.universe(),
+        host.rng.derive("jvm"),
+        cache=cache,
+        jvm_build_id=jvm_build_id,
+    )
+
+
+class TestCacheValidation:
+    def test_matching_build_accepted(self):
+        workload = tiny_workload()
+        cache = make_cache(workload, "ibm-j9-java6-sr9")
+        jvm = make_jvm(cache)
+        assert not jvm.cache_rejected
+        assert jvm.cache_attached
+
+    def test_mismatched_build_rejected(self):
+        """A cache written by another JVM build is refused at attach; the
+        VM keeps running and loads classes privately (J9 behaviour)."""
+        workload = tiny_workload()
+        cache = make_cache(workload, "ibm-j9-java6-sr10")
+        jvm = make_jvm(cache, jvm_build_id="ibm-j9-java6-sr9")
+        assert jvm.cache_rejected
+        assert not jvm.cache_attached
+        jvm.startup()
+        assert jvm.classes.loaded_from_cache == 0
+        assert jvm.classes.loaded_privately > 0
+
+    def test_build_id_changes_header_content(self):
+        """Different builds produce different cache headers, so even the
+        file content differs — no accidental cross-build page sharing."""
+        workload = tiny_workload()
+        a = make_cache(workload, "sr9").backing
+        b = make_cache(workload, "sr10").backing
+        assert a.page_token(0) != b.page_token(0)

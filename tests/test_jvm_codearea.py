@@ -1,0 +1,91 @@
+"""Unit tests for the code area (executables, libraries, data segments)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.jvm.codearea import CodeArea
+from repro.units import KiB, MiB
+
+PAGE = 4096
+
+
+def make_code_area(vm_name="vm1", build="j9-sr9", host=None,
+                   file_bytes=64 * KiB, data_bytes=16 * KiB):
+    if host is None:
+        host = KvmHost(128 * MiB, seed=3)
+    vm = host.create_guest(vm_name, 16 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", vm_name))
+    process = kernel.spawn("java")
+    area = CodeArea(
+        process, build, file_bytes, data_bytes,
+        host.rng.derive("jvm", vm_name),
+    )
+    return host, process, area
+
+
+class TestMapping:
+    def test_map_covers_configured_bytes(self):
+        _host, process, area = make_code_area()
+        area.map()
+        assert area.resident_bytes >= 64 * KiB + 16 * KiB
+        assert len(area.file_vmas) >= 1
+        assert area.data_vma is not None
+
+    def test_double_map_rejected(self):
+        _host, _process, area = make_code_area()
+        area.map()
+        with pytest.raises(RuntimeError):
+            area.map()
+
+    def test_file_pages_come_from_page_cache(self):
+        _host, process, area = make_code_area()
+        area.map()
+        cached = process.kernel.page_cache.cached_pages
+        assert cached >= sum(vma.npages for vma in area.file_vmas)
+
+    def test_same_build_identical_file_pages(self):
+        """Two VMs with the same JVM build map byte-identical library
+        pages — the one area the paper finds 'always shareable'."""
+        host = KvmHost(256 * MiB, seed=3)
+        token_lists = []
+        for vm_name in ("vm1", "vm2"):
+            _h, process, area = make_code_area(vm_name, host=host)
+            area.map()
+            tokens = []
+            for vma in area.file_vmas:
+                tokens.extend(
+                    process.read_token(vma, page)
+                    for page in range(vma.npages)
+                )
+            token_lists.append(tokens)
+        assert token_lists[0] == token_lists[1]
+
+    def test_different_build_differs(self):
+        host = KvmHost(256 * MiB, seed=3)
+        token_lists = []
+        for vm_name, build in (("vm1", "j9-sr9"), ("vm2", "j9-sr10")):
+            _h, process, area = make_code_area(vm_name, build, host=host)
+            area.map()
+            tokens = []
+            for vma in area.file_vmas:
+                tokens.extend(
+                    process.read_token(vma, page)
+                    for page in range(vma.npages)
+                )
+            token_lists.append(tokens)
+        assert token_lists[0] != token_lists[1]
+
+    def test_data_segments_private(self):
+        host = KvmHost(256 * MiB, seed=3)
+        token_sets = []
+        for vm_name in ("vm1", "vm2"):
+            _h, process, area = make_code_area(vm_name, host=host)
+            area.map()
+            token_sets.append(
+                {
+                    process.read_token(area.data_vma, page)
+                    for page in range(area.data_vma.npages)
+                }
+            )
+        assert token_sets[0].isdisjoint(token_sets[1])

@@ -1,0 +1,238 @@
+"""Unit tests for the heap areas and GC policy models."""
+
+import pytest
+
+from repro.config import GcPolicy
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.jvm.gc import GenconGc, OptThruputGc, build_heap
+from repro.jvm.heap import HeapArea, UNTOUCHED, ZEROED
+from repro.mem.content import ZERO_TOKEN
+from repro.units import KiB, MiB
+
+PAGE = 4096
+
+
+def make_process(vm_name="vm1", seed=3):
+    host = KvmHost(128 * MiB, seed=seed)
+    vm = host.create_guest(vm_name, 32 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", vm_name))
+    return host, kernel.spawn("java")
+
+
+class TestHeapArea:
+    def test_initial_state(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        assert area.npages == 8
+        assert area.live_pages == 0
+        assert area.zero_pages == 0
+        assert area.resident_bytes() == 0
+
+    def test_write_live(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.write_live(0, epoch=1)
+        assert area.live_pages == 1
+        assert process.read_token(area.vma, 0) not in (None, ZERO_TOKEN)
+
+    def test_write_zero(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.write_live(0, epoch=1)
+        area.write_zero(0)
+        assert area.zero_pages == 1
+        assert area.live_pages == 0
+        assert process.read_token(area.vma, 0) == ZERO_TOKEN
+
+    def test_zero_idempotent(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.write_zero(0)
+        area.write_zero(0)
+        assert area.zero_pages == 1
+
+    def test_epoch_changes_token(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.write_live(0, epoch=1)
+        first = process.read_token(area.vma, 0)
+        area.write_live(0, epoch=2)
+        assert process.read_token(area.vma, 0) != first
+
+    def test_rewrite_live_moves_everything(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.fill_live(0, 4, epoch=1)
+        before = [process.read_token(area.vma, i) for i in range(4)]
+        moved = area.rewrite_live(epoch=2)
+        after = [process.read_token(area.vma, i) for i in range(4)]
+        assert moved == 4
+        assert all(a != b for a, b in zip(after, before))
+
+    def test_zero_tail_takes_top_pages(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.fill_live(0, 6, epoch=1)
+        zeroed = area.zero_tail(2)
+        assert zeroed == 2
+        assert process.read_token(area.vma, 5) == ZERO_TOKEN
+        assert process.read_token(area.vma, 4) == ZERO_TOKEN
+        assert process.read_token(area.vma, 3) != ZERO_TOKEN
+
+    def test_allocate_from_zeros(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.fill_live(0, 4, epoch=1)
+        area.zero_tail(3)
+        allocated = area.allocate_from_zeros(2, epoch=2)
+        assert allocated == 2
+        assert area.zero_pages == 1
+
+    def test_dirty_fraction_samples_live_pages(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 64 * PAGE)
+        area.fill_live(0, 64, epoch=1)
+        dirtied = area.dirty_fraction(0.5, epoch=2)
+        assert 10 < dirtied < 54  # roughly half, deterministic sample
+
+    def test_dirty_zero_fraction(self):
+        _host, process = make_process()
+        area = HeapArea(process, "flat", 8 * PAGE)
+        area.fill_live(0, 8, epoch=1)
+        assert area.dirty_fraction(0.0, epoch=2) == 0
+
+    def test_heap_tokens_process_unique(self):
+        tokens = []
+        for seed, vm_name in ((1, "vm1"), (2, "vm2")):
+            _host, process = make_process(vm_name, seed)
+            area = HeapArea(process, "flat", 4 * PAGE)
+            area.fill_live(0, 4, epoch=1)
+            tokens.append(
+                {process.read_token(area.vma, i) for i in range(4)}
+            )
+        assert tokens[0].isdisjoint(tokens[1])
+
+
+class TestOptThruput:
+    def make(self, process, heap_pages=64):
+        return OptThruputGc(
+            process,
+            heap_bytes=heap_pages * PAGE,
+            touched_fraction=0.8,
+            zero_tail_bytes=4 * PAGE,
+            dirty_fraction=0.3,
+            gc_period_ticks=2,
+        )
+
+    def test_initialize_reaches_footprint(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        assert gc.heap.touched_pages == int(64 * 0.8)
+        assert gc.heap.zero_pages > 0  # the post-GC zero tail
+
+    def test_tick_consumes_zeros(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        zeros_before = gc.heap.zero_pages
+        gc.tick()
+        assert gc.heap.zero_pages < zeros_before
+
+    def test_gc_every_period(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        for _ in range(4):
+            gc.tick()
+        assert gc.gc_count == 2
+
+    def test_global_gc_moves_objects(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        token_before = process.read_token(gc.heap.vma, 0)
+        gc.global_gc()
+        assert process.read_token(gc.heap.vma, 0) != token_before
+        assert gc.heap.zero_pages >= 4
+
+    def test_resident_stays_within_touched(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        for _ in range(6):
+            gc.tick()
+        assert gc.heap.touched_pages <= gc.heap.npages
+        assert gc.resident_bytes() == gc.heap.touched_pages * PAGE
+
+
+class TestGencon:
+    def make(self, process):
+        return GenconGc(
+            process,
+            nursery_bytes=32 * PAGE,
+            tenured_bytes=32 * PAGE,
+            touched_fraction=0.75,
+            zero_tail_bytes=2 * PAGE,
+            dirty_fraction=0.3,
+            global_gc_period_ticks=2,
+        )
+
+    def test_initialize(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        assert gc.nursery.live_pages == 24  # 0.75 of the nursery
+        assert gc.tenured.live_pages == 24
+
+    def test_scavenge_rewrites_nursery(self):
+        """Every tick the nursery churns completely — it can never pass
+        KSM's stability filter (§V.C / §III.B)."""
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        before = [
+            process.read_token(gc.nursery.vma, i) for i in range(24)
+        ]
+        gc.tick()
+        after = [process.read_token(gc.nursery.vma, i) for i in range(24)]
+        assert all(a != b for a, b in zip(after, before))
+        assert gc.scavenge_count == 1
+
+    def test_global_gc_period(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        for _ in range(4):
+            gc.tick()
+        assert gc.gc_count == 2
+        assert gc.scavenge_count == 4
+
+    def test_resident_spans_both_areas(self):
+        _host, process = make_process()
+        gc = self.make(process)
+        gc.initialize()
+        assert gc.resident_bytes() == (24 + 24) * PAGE
+
+
+class TestBuildHeap:
+    def test_builds_optthruput(self):
+        _host, process = make_process()
+        heap = build_heap(process, GcPolicy.OPTTHRUPUT, 16 * PAGE, 0.8,
+                          2 * PAGE, 0.3)
+        assert isinstance(heap, OptThruputGc)
+
+    def test_builds_gencon(self):
+        _host, process = make_process()
+        heap = build_heap(
+            process, GcPolicy.GENCON, 16 * PAGE, 0.8, 2 * PAGE, 0.3,
+            nursery_bytes=8 * PAGE, tenured_bytes=8 * PAGE,
+        )
+        assert isinstance(heap, GenconGc)
+
+    def test_gencon_requires_sizes(self):
+        _host, process = make_process()
+        with pytest.raises(ValueError):
+            build_heap(process, GcPolicy.GENCON, 16 * PAGE, 0.8,
+                       2 * PAGE, 0.3)

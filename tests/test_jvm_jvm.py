@@ -1,0 +1,177 @@
+"""Unit/integration tests for the JavaVM orchestrator."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.jvm.classes import TAG_CACHE
+from repro.jvm.jvm import AttachedCache, JavaVM, populate_cache
+from repro.units import MiB
+from repro.workloads.classsets import ClassUniverse
+
+from tests.conftest import tiny_jvm_config, tiny_profile, tiny_workload
+
+PAGE = 4096
+
+
+def make_jvm(vm_name="vm1", host=None, cache=None, jvm_config=None,
+             workload=None):
+    if host is None:
+        host = KvmHost(128 * MiB, seed=5)
+    workload = workload or tiny_workload()
+    vm = host.create_guest(vm_name, 16 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", vm_name))
+    process = kernel.spawn("java")
+    config = jvm_config or workload.jvm_config
+    if cache is not None:
+        config = config.with_sharing(True)
+    jvm = JavaVM(
+        process,
+        config,
+        workload.profile,
+        workload.universe(),
+        host.rng.derive("jvm", vm_name),
+        cache=cache,
+    )
+    return host, jvm
+
+
+def make_cache(workload, vm_name="image"):
+    layout = populate_cache(
+        workload.universe(),
+        workload.jvm_config.with_sharing(True),
+        PAGE,
+        creator_id=vm_name,
+        rng=KvmHost(MiB, seed=5).rng.derive("pop"),
+    )
+    backing = layout.as_backing_file("scc-master")
+    return AttachedCache(layout=layout, backing=backing)
+
+
+class TestStartup:
+    def test_startup_builds_all_components(self):
+        _host, jvm = make_jvm()
+        jvm.startup()
+        tags = {vma.tag for vma in jvm.process.vmas}
+        assert any(tag.startswith("java:code") for tag in tags)
+        assert any("class-metadata" in tag for tag in tags)
+        assert "java:jit-code" in tags
+        assert "java:jit-work" in tags
+        assert "java:heap" in tags
+        assert any(tag.startswith("java:jvm-work") for tag in tags)
+        assert "java:stack" in tags
+        assert jvm.resident_bytes() > 0
+
+    def test_double_startup_rejected(self):
+        _host, jvm = make_jvm()
+        jvm.startup()
+        with pytest.raises(RuntimeError):
+            jvm.startup()
+
+    def test_tick_before_startup_rejected(self):
+        _host, jvm = make_jvm()
+        with pytest.raises(RuntimeError):
+            jvm.tick()
+
+    def test_cache_without_shareclasses_rejected(self):
+        workload = tiny_workload()
+        cache = make_cache(workload)
+        host = KvmHost(128 * MiB, seed=5)
+        vm = host.create_guest("vm1", 16 * MiB)
+        kernel = GuestKernel(vm, host.rng.derive("g"))
+        process = kernel.spawn("java")
+        with pytest.raises(ValueError):
+            JavaVM(
+                process,
+                tiny_jvm_config(share_classes=False),
+                workload.profile,
+                workload.universe(),
+                host.rng.derive("jvm"),
+                cache=cache,
+            )
+
+
+class TestTicks:
+    def test_ticks_load_runtime_classes(self):
+        _host, jvm = make_jvm()
+        jvm.startup()
+        loaded_at_start = jvm.classes.loaded_count
+        for _ in range(6):
+            jvm.tick()
+        assert jvm.classes.loaded_count > loaded_at_start
+        assert jvm.classes.loaded_count == len(jvm.universe)
+        assert jvm.ticks_run == 6
+
+    def test_ticks_grow_then_stabilise_footprint(self):
+        _host, jvm = make_jvm()
+        jvm.startup()
+        for _ in range(6):
+            jvm.tick()
+        stable = jvm.resident_bytes()
+        jvm.tick()
+        assert jvm.resident_bytes() == stable
+
+    def test_jit_budget_exhausts(self):
+        _host, jvm = make_jvm()
+        jvm.startup()
+        for _ in range(8):
+            jvm.tick()
+        assert jvm.jit.code_budget_left == 0
+
+
+class TestCacheAttachment:
+    def test_cache_attached_loads_from_cache(self):
+        workload = tiny_workload()
+        cache = make_cache(workload)
+        _host, jvm = make_jvm(cache=cache, workload=workload)
+        jvm.startup()
+        for _ in range(5):
+            jvm.tick()
+        cacheable = len(jvm.universe.cacheable_classes())
+        assert jvm.classes.loaded_from_cache == cacheable
+        assert jvm.cache_attached
+        assert jvm.cache_vma is not None
+        assert jvm.cache_vma.tag == TAG_CACHE
+
+    def test_app_classes_never_from_cache(self):
+        workload = tiny_workload()
+        cache = make_cache(workload)
+        _host, jvm = make_jvm(cache=cache, workload=workload)
+        jvm.startup()
+        for _ in range(5):
+            jvm.tick()
+        app = len(jvm.universe) - len(jvm.universe.cacheable_classes())
+        assert jvm.classes.loaded_privately == app
+
+    def test_pid_property(self):
+        _host, jvm = make_jvm()
+        assert jvm.pid == jvm.process.pid
+
+
+class TestPopulateCache:
+    def test_populate_stores_cacheable_only(self):
+        workload = tiny_workload()
+        universe = workload.universe()
+        layout = populate_cache(
+            universe,
+            workload.jvm_config.with_sharing(True),
+            PAGE,
+            creator_id="x",
+            rng=KvmHost(MiB, seed=1).rng,
+        )
+        assert layout.sealed
+        assert layout.stored_classes == len(universe.cacheable_classes())
+
+    def test_different_creators_different_layouts(self):
+        workload = tiny_workload()
+        universe = workload.universe()
+        rng = KvmHost(MiB, seed=1).rng
+        a = populate_cache(
+            universe, workload.jvm_config, PAGE, creator_id="vm1", rng=rng
+        )
+        b = populate_cache(
+            universe, workload.jvm_config, PAGE, creator_id="vm2", rng=rng
+        )
+        offsets_a = [a.offset_of(c.name) for c in universe.cacheable_classes()]
+        offsets_b = [b.offset_of(c.name) for c in universe.cacheable_classes()]
+        assert offsets_a != offsets_b

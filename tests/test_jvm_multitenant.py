@@ -1,0 +1,166 @@
+"""Tests for the multi-tenant JVM (§VI MVM / JSR-121 model)."""
+
+import pytest
+
+from repro.guestos.kernel import GuestKernel
+from repro.hypervisor.kvm import KvmHost
+from repro.jvm.jvm import JavaVM
+from repro.jvm.multitenant import (
+    MultiTenantJavaVM,
+    ProcessCrashedError,
+    TenantQuotaExceededError,
+    TenantSpec,
+)
+from repro.units import KiB, MiB
+from repro.workloads.classsets import ClassUniverse
+
+from tests.conftest import tiny_profile, tiny_workload
+
+PAGE = 4096
+
+
+def make_server(fence=True, host=None, vm_name="vm1"):
+    if host is None:
+        host = KvmHost(256 * MiB, seed=23)
+    vm = host.create_guest(vm_name, 64 * MiB)
+    kernel = GuestKernel(vm, host.rng.derive("g", vm_name))
+    process = kernel.spawn("mt-server")
+    profile = tiny_profile()
+    server = MultiTenantJavaVM(
+        process,
+        profile,
+        ClassUniverse(profile),
+        host.rng.derive("mt", vm_name),
+        fence_tenant_faults=fence,
+    )
+    return host, server
+
+
+class TestLifecycle:
+    def test_startup_builds_shared_middleware(self):
+        _host, server = make_server()
+        server.startup()
+        assert server.middleware_resident_bytes() > 0
+        assert server.classes.loaded_count > 0
+
+    def test_tenant_before_startup_rejected(self):
+        _host, server = make_server()
+        with pytest.raises(RuntimeError):
+            server.add_tenant(TenantSpec("a", 256 * KiB))
+
+    def test_double_startup_rejected(self):
+        _host, server = make_server()
+        server.startup()
+        with pytest.raises(RuntimeError):
+            server.startup()
+
+    def test_add_tenants(self):
+        _host, server = make_server()
+        server.startup()
+        a = server.add_tenant(TenantSpec("a", 512 * KiB))
+        b = server.add_tenant(TenantSpec("b", 512 * KiB))
+        assert server.live_tenants() == 2
+        assert a.resident_bytes() > 0
+        assert b.resident_bytes() > 0
+        assert server.tenant("a") is a
+
+    def test_duplicate_tenant_rejected(self):
+        _host, server = make_server()
+        server.startup()
+        server.add_tenant(TenantSpec("a", 512 * KiB))
+        with pytest.raises(ValueError):
+            server.add_tenant(TenantSpec("a", 512 * KiB))
+
+    def test_tick_runs_live_tenants(self):
+        _host, server = make_server()
+        server.startup()
+        server.add_tenant(TenantSpec("a", 512 * KiB))
+        server.tick()  # must not raise
+
+
+class TestQuotas:
+    def test_quota_enforced(self):
+        """MVM counts Java-heap usage per application (§VI)."""
+        _host, server = make_server()
+        server.startup()
+        tenant = server.add_tenant(TenantSpec("a", 512 * KiB))
+        tenant.charge(256 * KiB)
+        tenant.charge(256 * KiB)
+        with pytest.raises(TenantQuotaExceededError):
+            tenant.charge(1)
+        assert tenant.charged_bytes == 512 * KiB
+
+    def test_quota_is_per_tenant(self):
+        _host, server = make_server()
+        server.startup()
+        a = server.add_tenant(TenantSpec("a", 256 * KiB))
+        b = server.add_tenant(TenantSpec("b", 256 * KiB))
+        a.charge(256 * KiB)
+        b.charge(128 * KiB)  # unaffected by a's exhaustion
+
+
+class TestFaultIsolation:
+    def test_fenced_crash_kills_only_the_tenant(self):
+        """MVM2 runs user JNI in service processes: one app's crash
+        leaves the others running."""
+        _host, server = make_server(fence=True)
+        server.startup()
+        server.add_tenant(TenantSpec("a", 256 * KiB))
+        server.add_tenant(TenantSpec("b", 256 * KiB))
+        server.crash_tenant("a")
+        assert server.alive
+        assert server.live_tenants() == 1
+        server.tick()  # the survivor keeps running
+
+    def test_unfenced_crash_kills_the_server(self):
+        """Without fencing, 'the entire service process can crash'."""
+        _host, server = make_server(fence=False)
+        server.startup()
+        server.add_tenant(TenantSpec("a", 256 * KiB))
+        server.add_tenant(TenantSpec("b", 256 * KiB))
+        with pytest.raises(ProcessCrashedError):
+            server.crash_tenant("a")
+        assert not server.alive
+        with pytest.raises(ProcessCrashedError):
+            server.tick()
+
+    def test_dead_tenant_cannot_allocate(self):
+        _host, server = make_server(fence=True)
+        server.startup()
+        tenant = server.add_tenant(TenantSpec("a", 256 * KiB))
+        server.crash_tenant("a")
+        with pytest.raises(ProcessCrashedError):
+            tenant.charge(1)
+
+
+class TestMemoryAdvantage:
+    def test_beats_one_jvm_per_tenant(self):
+        """The §VI memory argument: three apps in one server use far less
+        memory than three separate (non-preloaded) JVM processes, because
+        the middleware image exists once."""
+        host = KvmHost(512 * MiB, seed=23)
+        _h, server = make_server(host=host, vm_name="mt")
+        server.startup()
+        # Small per-app heaps relative to the middleware, like the WAS
+        # reality (the middleware image dwarfs one application).
+        for index in range(3):
+            server.add_tenant(TenantSpec(f"app{index}", 256 * KiB))
+        multi_tenant_bytes = server.resident_bytes()
+
+        separate_bytes = 0
+        workload = tiny_workload(jvm_overrides={"heap_bytes": 256 * KiB})
+        for index in range(3):
+            vm = host.create_guest(f"sep{index}", 64 * MiB)
+            kernel = GuestKernel(vm, host.rng.derive("g", f"sep{index}"))
+            process = kernel.spawn("java")
+            jvm = JavaVM(
+                process,
+                workload.jvm_config,
+                workload.profile,
+                workload.universe(),
+                host.rng.derive("jvm", f"sep{index}"),
+            )
+            jvm.startup()
+            separate_bytes += jvm.resident_bytes()
+
+        assert multi_tenant_bytes < 0.66 * separate_bytes

@@ -1,0 +1,159 @@
+"""Unit tests for the shared class cache (CDS / -Xshareclasses)."""
+
+import pytest
+
+from repro.jvm.sharedcache import (
+    CacheFullError,
+    HEADER_BYTES,
+    SharedClassCache,
+)
+from repro.mem.content import ZERO_TOKEN
+from repro.units import KiB, MiB
+from repro.workloads.classsets import ClassUniverse, JavaClassDef, LoaderKind
+
+from tests.conftest import tiny_profile
+
+PAGE = 4096
+
+
+def make_class(name, rom=3000, ram=400, loader=LoaderKind.MIDDLEWARE):
+    from repro.sim.rng import stable_hash64
+
+    return JavaClassDef(
+        name=name,
+        loader=loader,
+        rom_bytes=rom,
+        ram_bytes=ram,
+        rom_content_id=stable_hash64("romclass", "test", name),
+    )
+
+
+@pytest.fixture
+def cache():
+    return SharedClassCache("testcache", 2 * MiB, PAGE, creator_id="c1")
+
+
+class TestPopulation:
+    def test_add_class_returns_offset(self, cache):
+        offset = cache.add_class(make_class("a.B"))
+        assert offset == HEADER_BYTES
+        assert cache.contains("a.B")
+        assert cache.offset_of("a.B") == offset
+
+    def test_duplicate_add_is_idempotent(self, cache):
+        first = cache.add_class(make_class("a.B"))
+        again = cache.add_class(make_class("a.B"))
+        assert first == again
+        assert cache.stored_classes == 1
+
+    def test_application_class_rejected(self, cache):
+        cls = make_class("app.C", loader=LoaderKind.APPLICATION)
+        with pytest.raises(ValueError):
+            cache.add_class(cls)
+
+    def test_cache_full(self):
+        cache = SharedClassCache(
+            "tiny", HEADER_BYTES + 4 * KiB, PAGE, creator_id="c1"
+        )
+        cache.add_class(make_class("a.B", rom=3000))
+        with pytest.raises(CacheFullError):
+            cache.add_class(make_class("a.C", rom=3000))
+
+    def test_populate_returns_overflow(self):
+        cache = SharedClassCache(
+            "tiny", HEADER_BYTES + 8 * KiB, PAGE, creator_id="c1"
+        )
+        classes = [make_class(f"a.C{i}", rom=3000) for i in range(4)]
+        classes.append(make_class("app.X", loader=LoaderKind.APPLICATION))
+        overflow = cache.populate(classes)
+        # Two middleware classes fit (2 x 3072 aligned); the rest overflow,
+        # plus the application class.
+        assert cache.stored_classes == 2
+        assert len(overflow) == 3
+
+    def test_sealed_cache_rejects_adds(self, cache):
+        cache.seal()
+        with pytest.raises(RuntimeError):
+            cache.add_class(make_class("a.B"))
+
+    def test_too_small_cache_rejected(self):
+        with pytest.raises(ValueError):
+            SharedClassCache("x", HEADER_BYTES, PAGE, creator_id="c")
+
+    def test_used_and_free_bytes(self, cache):
+        assert cache.used_bytes == HEADER_BYTES
+        cache.add_class(make_class("a.B", rom=1000))
+        assert cache.used_bytes > HEADER_BYTES
+        assert cache.used_bytes + cache.free_bytes == cache.size_bytes
+
+
+class TestGeometry:
+    def test_page_span(self, cache):
+        cache.add_class(make_class("a.B", rom=2 * PAGE))
+        span = cache.page_span_of("a.B")
+        assert span.start == HEADER_BYTES // PAGE
+        assert len(span) >= 2
+
+    def test_classes_at_stable_offsets(self):
+        """Two caches populated in the same order place classes at the
+        same offsets — the layout-determinism the technique relies on."""
+        classes = [make_class(f"a.C{i}") for i in range(10)]
+        a = SharedClassCache("c", 2 * MiB, PAGE, creator_id="x")
+        b = SharedClassCache("c", 2 * MiB, PAGE, creator_id="y")
+        a.populate(classes)
+        b.populate(classes)
+        for cls in classes:
+            assert a.offset_of(cls.name) == b.offset_of(cls.name)
+
+
+class TestBackingFile:
+    def test_file_spans_whole_cache(self, cache):
+        cache.add_class(make_class("a.B"))
+        backing = cache.as_backing_file("scc")
+        assert backing.size_bytes == cache.size_bytes
+        assert backing.npages == cache.size_bytes // PAGE
+
+    def test_unused_tail_is_zero(self, cache):
+        cache.add_class(make_class("a.B"))
+        backing = cache.as_backing_file("scc")
+        assert backing.page_token(backing.npages - 1) == ZERO_TOKEN
+
+    def test_same_order_same_content(self):
+        """Same creator + same order => byte-identical files."""
+        classes = [make_class(f"a.C{i}") for i in range(8)]
+        files = []
+        for _ in range(2):
+            cache = SharedClassCache("c", 2 * MiB, PAGE, creator_id="x")
+            cache.populate(classes)
+            files.append(cache.as_backing_file("scc"))
+        assert [files[0].page_token(i) for i in range(files[0].npages)] == [
+            files[1].page_token(i) for i in range(files[1].npages)
+        ]
+
+    def test_different_order_different_content(self):
+        """Per-VM-populated caches differ: the PER_VM ablation's cause."""
+        classes = [make_class(f"a.C{i}") for i in range(8)]
+        a = SharedClassCache("c", 2 * MiB, PAGE, creator_id="x")
+        b = SharedClassCache("c", 2 * MiB, PAGE, creator_id="x")
+        a.populate(classes)
+        b.populate(list(reversed(classes)))
+        fa = a.as_backing_file("scc")
+        fb = b.as_backing_file("scc")
+        body = range(HEADER_BYTES // PAGE, fa.npages)
+        assert any(fa.page_token(i) != fb.page_token(i) for i in body)
+
+    def test_different_creator_different_header(self):
+        a = SharedClassCache("c", 2 * MiB, PAGE, creator_id="x")
+        b = SharedClassCache("c", 2 * MiB, PAGE, creator_id="y")
+        fa = a.as_backing_file("scc")
+        fb = b.as_backing_file("scc")
+        assert fa.page_token(0) != fb.page_token(0)
+
+
+class TestWithUniverse:
+    def test_populate_from_universe(self):
+        universe = ClassUniverse(tiny_profile())
+        cache = SharedClassCache("c", 4 * MiB, PAGE, creator_id="x")
+        overflow = cache.populate(universe.all_classes)
+        assert cache.stored_classes == len(universe.cacheable_classes())
+        assert all(not cls.cacheable for cls in overflow)

@@ -1,0 +1,59 @@
+"""Tests for the KSM convergence timeline."""
+
+from repro.ksm.scanner import KsmConfig, KsmScanner
+from repro.mem.address_space import PageTable
+from repro.mem.physmem import HostPhysicalMemory
+from repro.sim.clock import SimClock
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def build(pages=50, shared_fraction=0.5):
+    pm = HostPhysicalMemory(64 * MiB, PAGE)
+    clock = SimClock()
+    scanner = KsmScanner(pm, clock, KsmConfig(pages_to_scan=20))
+    tables = [PageTable("a"), PageTable("b")]
+    for table in tables:
+        scanner.register(table)
+    for index, table in enumerate(tables):
+        for vpn in range(pages):
+            if vpn < pages * shared_fraction:
+                pm.map_token(table, vpn, 10_000 + vpn)
+            else:
+                pm.map_token(table, vpn, (index + 1) * 100_000 + vpn)
+    return pm, clock, scanner
+
+
+class TestHistory:
+    def test_one_sample_per_full_scan(self):
+        _pm, _clock, scanner = build()
+        scanner.run_until_converged(max_passes=6)
+        assert len(scanner.history) == scanner.stats.full_scans
+
+    def test_sharing_rises_then_plateaus(self):
+        """The warm-up shape: merging climbs, then flattens once every
+        identical pair has been found."""
+        _pm, _clock, scanner = build()
+        scanner.run_until_converged(max_passes=8)
+        shared_series = [sample[1] for sample in scanner.history]
+        assert shared_series == sorted(shared_series)  # monotone rise
+        assert shared_series[-1] == shared_series[-2]  # plateau reached
+        assert shared_series[-1] == 25  # half of 50 pages, pairwise
+
+    def test_timestamps_monotone(self):
+        _pm, _clock, scanner = build()
+        scanner.run_until_converged(max_passes=6)
+        times = [sample[0] for sample in scanner.history]
+        assert times == sorted(times)
+
+    def test_history_reflects_cow_breaks(self):
+        pm, _clock, scanner = build(pages=10, shared_fraction=1.0)
+        scanner.run_until_converged(max_passes=6)
+        peak = scanner.history[-1][2]
+        # Break every merge from table a.
+        table_a = scanner.registered_tables[0]
+        for vpn in range(10):
+            pm.write_token(table_a, vpn, 999_000 + vpn)
+        scanner.run_until_converged(max_passes=4)
+        assert scanner.history[-1][2] < peak

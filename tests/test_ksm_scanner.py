@@ -1,0 +1,259 @@
+"""Unit tests for the KSM scanner: the TPS merging state machine."""
+
+import pytest
+
+from repro.ksm.scanner import KsmConfig, KsmScanner
+from repro.mem.address_space import PageTable
+from repro.mem.content import ZERO_TOKEN
+from repro.mem.physmem import HostPhysicalMemory
+from repro.sim.clock import SimClock
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def make_scanner(pages_to_scan=1000, sleep=100):
+    pm = HostPhysicalMemory(64 * MiB, PAGE)
+    clock = SimClock()
+    scanner = KsmScanner(
+        pm, clock, KsmConfig(pages_to_scan=pages_to_scan, sleep_millisecs=sleep)
+    )
+    return pm, clock, scanner
+
+
+def converge(scanner, passes=6):
+    return scanner.run_until_converged(max_passes=passes)
+
+
+class TestRegistration:
+    def test_register_twice_rejected(self):
+        _pm, _clock, scanner = make_scanner()
+        table = PageTable("a")
+        scanner.register(table)
+        with pytest.raises(ValueError):
+            scanner.register(table)
+
+    def test_unregister_unknown_rejected(self):
+        _pm, _clock, scanner = make_scanner()
+        with pytest.raises(ValueError):
+            scanner.unregister(PageTable("a"))
+
+    def test_unregister_stops_scanning(self):
+        pm, _clock, scanner = make_scanner()
+        table = PageTable("a")
+        scanner.register(table)
+        pm.map_token(table, 0, 5)
+        scanner.unregister(table)
+        assert scanner.scan_pages(10) == 0
+
+
+class TestMerging:
+    def test_identical_pages_merge(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        stats = converge(scanner)
+        assert stats.pages_shared == 1
+        assert stats.pages_sharing == 2
+        assert stats.pages_saved == 1
+        assert a.translate(0) == b.translate(0)
+
+    def test_different_pages_do_not_merge(self):
+        pm, _clock, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        pm.map_token(a, 0, 5)
+        pm.map_token(a, 1, 6)
+        stats = converge(scanner)
+        assert stats.pages_shared == 0
+        assert pm.frames_in_use == 2
+
+    def test_zero_pages_merge_globally(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        for vpn in range(4):
+            pm.map_token(a, vpn, ZERO_TOKEN)
+            pm.map_token(b, vpn, ZERO_TOKEN)
+        stats = converge(scanner)
+        assert stats.pages_shared == 1
+        assert stats.pages_sharing == 8
+        assert pm.frames_in_use == 1
+
+    def test_within_table_merge(self):
+        pm, _clock, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        pm.map_token(a, 0, 5)
+        pm.map_token(a, 1, 5)
+        stats = converge(scanner)
+        assert stats.pages_saved == 1
+
+    def test_unregistered_table_not_merged(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)  # not registered
+        converge(scanner)
+        assert a.translate(0) != b.translate(0)
+
+    def test_late_page_joins_stable_node(self):
+        pm, _clock, scanner = make_scanner()
+        a, b, c = PageTable("a"), PageTable("b"), PageTable("c")
+        for table in (a, b, c):
+            scanner.register(table)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        converge(scanner)
+        pm.map_token(c, 0, 5)  # appears after the stable node exists
+        stats = converge(scanner)
+        assert stats.pages_sharing == 3
+
+
+class TestVolatility:
+    def test_volatile_page_never_merges(self):
+        """Pages rewritten between scans fail the checksum-stability test —
+        the paper's Java-heap behaviour."""
+        pm, _clock, scanner = make_scanner(pages_to_scan=10)
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 1)
+        pm.map_token(b, 0, 1)
+        for epoch in range(10):
+            # Rewrite both pages to the same, but changing, content —
+            # faster than the scanner completes a pass, like a GC-churned
+            # heap page.
+            pm.write_token(a, 0, 100 + epoch)
+            pm.write_token(b, 0, 100 + epoch)
+            scanner.scan_pages(2)  # one sighting of each page per write
+        assert scanner.snapshot_stats().pages_shared == 0
+        assert scanner.stats.merges == 0
+        assert scanner.stats.volatile_skips > 0
+
+    def test_needs_two_sightings_before_merge(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        # One partial pass over both pages: candidates are only recorded.
+        scanner.scan_pages(2)
+        assert scanner.snapshot_stats().pages_shared == 0
+        # Second sighting: both stable, they merge.
+        scanner.scan_pages(4)
+        assert scanner.snapshot_stats().pages_shared == 1
+
+
+class TestCowBreaking:
+    def test_write_to_merged_page_unshares(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        converge(scanner)
+        pm.write_token(a, 0, 99)
+        assert a.translate(0) != b.translate(0)
+        assert pm.read_token(b, 0) == 5
+        stats = scanner.snapshot_stats()
+        # The stable frame still exists with one mapper.
+        assert stats.pages_sharing == 1
+
+    def test_remerge_after_cow_break(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        converge(scanner)
+        pm.write_token(a, 0, 99)
+        pm.write_token(a, 0, 5)  # back to matching content
+        stats = converge(scanner)
+        assert stats.pages_sharing == 2
+
+    def test_stable_node_pruned_when_all_mappers_leave(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        converge(scanner)
+        pm.write_token(a, 0, 1)
+        pm.write_token(b, 0, 2)
+        stats = converge(scanner)
+        assert stats.pages_shared == 0
+
+
+class TestTimeAndStats:
+    def test_run_cycles_advances_clock(self):
+        pm, clock, scanner = make_scanner(pages_to_scan=10, sleep=100)
+        table = PageTable("a")
+        scanner.register(table)
+        pm.map_token(table, 0, 5)
+        scanner.run_cycles(10)
+        assert clock.now_ms >= 1000
+
+    def test_cpu_percent_calibration_high(self):
+        """10 000 pages per 100 ms cycle costs ≈25 % CPU (§II.C)."""
+        pm, _clock, scanner = make_scanner(pages_to_scan=10_000, sleep=100)
+        table = PageTable("a")
+        scanner.register(table)
+        for vpn in range(20_000):
+            pm.map_token(table, vpn, vpn)
+        scanner.run_cycles(10)
+        cpu = scanner.snapshot_stats().cpu_percent
+        assert 15.0 < cpu < 35.0
+
+    def test_cpu_percent_calibration_low(self):
+        """1 000 pages per 100 ms cycle costs ≈2 % CPU (§II.C)."""
+        pm, _clock, scanner = make_scanner(pages_to_scan=1_000, sleep=100)
+        table = PageTable("a")
+        scanner.register(table)
+        for vpn in range(5_000):
+            pm.map_token(table, vpn, vpn)
+        scanner.run_cycles(10)
+        cpu = scanner.snapshot_stats().cpu_percent
+        assert 1.0 < cpu < 6.0
+
+    def test_full_scans_counted(self):
+        pm, _clock, scanner = make_scanner()
+        table = PageTable("a")
+        scanner.register(table)
+        for vpn in range(10):
+            pm.map_token(table, vpn, vpn)
+        converge(scanner)
+        assert scanner.stats.full_scans >= 2
+
+    def test_empty_scan_is_safe(self):
+        _pm, _clock, scanner = make_scanner()
+        scanner.register(PageTable("empty"))
+        assert scanner.scan_pages(100) == 0
+        scanner.run_cycles(2)  # must not spin forever
+
+    def test_saved_bytes(self):
+        pm, _clock, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        converge(scanner)
+        assert scanner.saved_bytes == PAGE
+
+
+class TestConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            KsmConfig(pages_to_scan=0)
+        with pytest.raises(ValueError):
+            KsmConfig(sleep_millisecs=0)

@@ -1,0 +1,65 @@
+"""Unit tests for sparse page tables."""
+
+import pytest
+
+from repro.mem.address_space import PageTable
+
+
+@pytest.fixture
+def table():
+    return PageTable("unit")
+
+
+class TestMapping:
+    def test_map_and_translate(self, table):
+        table.map(5, 100)
+        assert table.translate(5) == 100
+
+    def test_unmapped_is_none(self, table):
+        assert table.translate(5) is None
+
+    def test_double_map_rejected(self, table):
+        table.map(5, 100)
+        with pytest.raises(ValueError):
+            table.map(5, 101)
+
+    def test_remap(self, table):
+        table.map(5, 100)
+        assert table.remap(5, 200) == 100
+        assert table.translate(5) == 200
+
+    def test_remap_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.remap(5, 1)
+
+    def test_unmap(self, table):
+        table.map(5, 100)
+        assert table.unmap(5) == 100
+        assert not table.is_mapped(5)
+
+    def test_unmap_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.unmap(5)
+
+
+class TestIntrospection:
+    def test_len_and_contains(self, table):
+        table.map(1, 10)
+        table.map(2, 20)
+        assert len(table) == 2
+        assert 1 in table
+        assert 3 not in table
+
+    def test_entries(self, table):
+        table.map(1, 10)
+        table.map(2, 20)
+        assert dict(table.entries()) == {1: 10, 2: 20}
+
+    def test_snapshot_is_a_copy(self, table):
+        table.map(1, 10)
+        snap = table.snapshot()
+        snap[1] = 99
+        assert table.translate(1) == 10
+
+    def test_repr_contains_name(self, table):
+        assert "unit" in repr(table)

@@ -1,0 +1,144 @@
+"""Unit and property tests for repro.mem.region."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.content import ZERO_TOKEN, page_tokens_for_chunks, Chunk
+from repro.mem.region import Region
+
+PAGE = 4096
+
+
+class TestRegionBasics:
+    def test_empty(self):
+        region = Region(PAGE)
+        assert region.total_bytes == 0
+        assert region.page_count == 0
+        assert region.page_tokens() == []
+
+    def test_append_returns_offset(self):
+        region = Region(PAGE)
+        assert region.append(1, 100) == 0
+        assert region.append(2, 50) == 100
+        assert region.total_bytes == 150
+
+    def test_append_chunk(self):
+        region = Region(PAGE)
+        region.append_chunk(Chunk(3, 64))
+        assert region.chunk_count == 1
+
+    def test_page_count_includes_base_offset(self):
+        region = Region(PAGE, base_offset=PAGE - 1)
+        region.append(1, 2)
+        assert region.page_count == 2
+
+    def test_invalid_base_offset(self):
+        with pytest.raises(ValueError):
+            Region(PAGE, base_offset=PAGE)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            Region(0)
+
+    def test_len_is_chunk_count(self):
+        region = Region(PAGE)
+        region.append(1, 10)
+        region.append(2, 10)
+        assert len(region) == 2
+
+
+class TestPadToPage:
+    def test_pads_unaligned(self):
+        region = Region(PAGE)
+        region.append(1, 100)
+        padding = region.pad_to_page()
+        assert padding == PAGE - 100
+        assert (region.base_offset + region.total_bytes) % PAGE == 0
+
+    def test_noop_when_aligned(self):
+        region = Region(PAGE)
+        region.append(1, PAGE)
+        assert region.pad_to_page() == 0
+
+    def test_respects_base_offset(self):
+        region = Region(PAGE, base_offset=96)
+        region.append(1, 100)
+        region.pad_to_page()
+        assert (96 + region.total_bytes) % PAGE == 0
+
+
+class TestChunkGeometry:
+    def test_chunk_offset(self):
+        region = Region(PAGE)
+        region.append(1, 100)
+        region.append(2, 200)
+        assert region.chunk_offset(0) == 0
+        assert region.chunk_offset(1) == 100
+
+    def test_chunk_page_span(self):
+        region = Region(PAGE)
+        region.append(1, PAGE + 10)  # pages 0-1
+        region.append(2, 10)  # page 1
+        assert region.chunk_page_span(0) == (0, 1)
+        assert region.chunk_page_span(1) == (1, 1)
+
+    def test_span_with_base_offset(self):
+        region = Region(PAGE, base_offset=PAGE - 4)
+        region.append(1, 8)  # straddles pages 0-1
+        assert region.chunk_page_span(0) == (0, 1)
+
+
+class TestTokenMaterialisation:
+    def test_matches_page_tokens_for_chunks(self):
+        region = Region(PAGE, base_offset=128)
+        region.append(7, 300)
+        region.append(0, 5000)
+        region.append(9, 77)
+        direct = page_tokens_for_chunks(
+            [Chunk(7, 300), Chunk(0, 5000), Chunk(9, 77)], PAGE, 128
+        )
+        assert region.page_tokens() == direct
+
+    def test_cache_invalidation_on_append(self):
+        region = Region(PAGE)
+        region.append(1, PAGE)
+        first = region.page_tokens()
+        region.append(2, PAGE)
+        second = region.page_tokens()
+        assert len(second) == 2
+        assert second[0] == first[0]
+
+    def test_page_tokens_returns_copy(self):
+        """Mutating the returned list must not corrupt the cached tokens."""
+        region = Region(PAGE)
+        region.append(1, PAGE)
+        tokens = region.page_tokens()
+        original = tokens[0]
+        tokens[0] = 12345
+        assert region.page_tokens()[0] == original
+
+    @given(
+        sizes=st.lists(st.integers(1, 2 * PAGE), min_size=1, max_size=10),
+        base=st.integers(0, PAGE - 1),
+    )
+    @settings(max_examples=50)
+    def test_same_build_same_tokens(self, sizes, base):
+        def build():
+            region = Region(PAGE, base_offset=base)
+            for index, size in enumerate(sizes):
+                region.append(index + 1, size)
+            return region.page_tokens()
+
+        assert build() == build()
+
+    @given(sizes=st.lists(st.integers(1, PAGE), min_size=2, max_size=6))
+    @settings(max_examples=50)
+    def test_zero_padding_never_changes_earlier_full_pages(self, sizes):
+        region = Region(PAGE)
+        for index, size in enumerate(sizes):
+            region.append(index + 1, size)
+        before = region.page_tokens()
+        region.append(0, PAGE)  # zero tail
+        after = region.page_tokens()
+        # All fully covered earlier pages keep their tokens.
+        assert after[: len(before) - 1] == before[:-1]

@@ -1,0 +1,100 @@
+"""Unit tests for the paging-penalty and throughput models."""
+
+import pytest
+
+from repro.perf.paging import PagingModel
+from repro.perf.throughput import DayTraderThroughputModel, SpecjScoreModel
+from repro.units import GiB, MiB
+
+
+@pytest.fixture
+def paging():
+    return PagingModel(capacity_bytes=6 * GiB)
+
+
+class TestPagingModel:
+    def test_demand_arithmetic(self, paging):
+        demand = paging.demand_bytes(3, 1000 * MiB, 100 * MiB)
+        assert demand == paging.host_kernel_bytes + 3000 * MiB - 200 * MiB
+
+    def test_single_vm_no_savings_term(self, paging):
+        assert paging.demand_bytes(1, 1000 * MiB, 100 * MiB) == (
+            paging.host_kernel_bytes + 1000 * MiB
+        )
+
+    def test_zero_vms_rejected(self, paging):
+        with pytest.raises(ValueError):
+            paging.demand_bytes(0, MiB, 0)
+
+    def test_no_penalty_under_capacity(self, paging):
+        assert paging.penalty(4 * GiB, 4, GiB) == 1.0
+
+    def test_cold_pages_absorb_small_overcommit(self, paging):
+        slight = paging.capacity_bytes + 100 * MiB
+        assert paging.penalty(slight, 8, GiB) == 1.0
+
+    def test_penalty_monotonic_in_demand(self, paging):
+        penalties = [
+            paging.penalty(paging.capacity_bytes + extra * MiB, 4, GiB)
+            for extra in (0, 500, 1000, 2000, 4000)
+        ]
+        assert penalties == sorted(penalties, reverse=True)
+        assert penalties[-1] < 0.05
+
+    def test_penalty_halves_at_tau(self, paging):
+        cold = 4 * GiB * paging.cold_fraction_of_guest
+        demand = paging.capacity_bytes + cold + paging.tau_bytes
+        assert paging.penalty(demand, 4, GiB) == pytest.approx(0.5)
+
+    def test_hot_overcommit(self, paging):
+        assert paging.hot_overcommit_bytes(GiB, 1, GiB) == 0.0
+        over = paging.hot_overcommit_bytes(7 * GiB, 1, GiB)
+        expected = 7 * GiB - paging.capacity_bytes - (
+            GiB * paging.cold_fraction_of_guest
+        )
+        assert over == pytest.approx(expected)
+
+
+class TestDayTraderModel:
+    def test_linear_ramp(self):
+        model = DayTraderThroughputModel(base_per_vm=33.0)
+        assert model.total_throughput(3, 1.0) == pytest.approx(99.0)
+
+    def test_cpu_cap(self):
+        model = DayTraderThroughputModel(base_per_vm=33.0, cpu_cap_total=260)
+        assert model.total_throughput(9, 1.0) == pytest.approx(260.0)
+
+    def test_penalty_applies(self):
+        model = DayTraderThroughputModel(base_per_vm=33.0)
+        assert model.total_throughput(4, 0.5) == pytest.approx(66.0)
+
+    def test_invalid_inputs(self):
+        model = DayTraderThroughputModel()
+        with pytest.raises(ValueError):
+            model.total_throughput(0, 1.0)
+        with pytest.raises(ValueError):
+            model.total_throughput(1, 0.0)
+        with pytest.raises(ValueError):
+            model.total_throughput(1, 1.5)
+
+
+class TestSpecjModel:
+    def test_healthy_score(self):
+        model = SpecjScoreModel(ejops_per_vm=24.0)
+        assert model.score(1.0) == 24.0
+        assert model.sla_met(1.0)
+
+    def test_degraded_score_breaks_sla(self):
+        model = SpecjScoreModel(ejops_per_vm=24.0)
+        assert model.score(0.625) == pytest.approx(15.0)
+        assert not model.sla_met(0.625)
+
+    def test_sla_floor_boundary(self):
+        model = SpecjScoreModel(sla_penalty_floor=0.85)
+        assert model.sla_met(0.85)
+        assert not model.sla_met(0.849)
+
+    def test_invalid_penalty(self):
+        model = SpecjScoreModel()
+        with pytest.raises(ValueError):
+            model.score(0.0)

@@ -1,0 +1,92 @@
+"""Edge-case tests for result containers and small helpers."""
+
+import pytest
+
+from repro.core.accounting import CategoryUsage
+from repro.core.breakdown import JavaBreakdown, JavaProcessRow
+from repro.core.experiments.consolidation import (
+    ConsolidationPoint,
+    ConsolidationResult,
+    Footprint,
+)
+from repro.config import Benchmark
+from repro.ksm.stats import KsmStats
+from repro.units import MiB
+
+
+class TestKsmStats:
+    def test_pages_saved_never_negative(self):
+        stats = KsmStats(pages_shared=5, pages_sharing=3)
+        assert stats.pages_saved == 0
+
+    def test_cpu_percent_with_no_elapsed_time(self):
+        assert KsmStats(cpu_ms=10).cpu_percent == 0.0
+
+    def test_str_contains_key_numbers(self):
+        text = str(KsmStats(pages_shared=2, pages_sharing=7, full_scans=3))
+        assert "shared=2" in text
+        assert "sharing=7" in text
+        assert "saved=5" in text
+
+
+class TestCategoryUsage:
+    def test_total(self):
+        cell = CategoryUsage(usage_bytes=10, shared_bytes=5)
+        assert cell.total_bytes == 15
+
+    def test_defaults(self):
+        assert CategoryUsage().total_bytes == 0
+
+
+class TestJavaBreakdownContainers:
+    def test_row_lookup_error(self):
+        breakdown = JavaBreakdown(rows=[])
+        with pytest.raises(KeyError):
+            breakdown.row("vm1")
+
+    def test_owner_of_single_row(self):
+        row = JavaProcessRow(vm_name="vm1", vm_index=0, pid=42)
+        breakdown = JavaBreakdown(rows=[row])
+        assert breakdown.owner_row() is row
+        assert breakdown.non_primary_rows() == []
+
+    def test_shared_fraction_of_empty_category(self):
+        from repro.core.categories import MemoryCategory
+
+        row = JavaProcessRow(vm_name="vm1", vm_index=0, pid=42)
+        assert row.shared_fraction(MemoryCategory.JAVA_HEAP) == 0.0
+
+
+class TestConsolidationContainers:
+    def make_result(self):
+        result = ConsolidationResult(
+            benchmark=Benchmark.DAYTRADER,
+            vm_counts=[1, 2, 3],
+            footprints={
+                "default": Footprint(1000 * MiB, 100 * MiB),
+            },
+        )
+        result.points["default"] = [
+            ConsolidationPoint(1, 1000.0, 1.0, 30.0),
+            ConsolidationPoint(2, 1900.0, 0.9, 55.0),
+            ConsolidationPoint(3, 2800.0, 0.2, 18.0),
+        ]
+        return result
+
+    def test_series(self):
+        result = self.make_result()
+        assert result.series("default") == [30.0, 55.0, 18.0]
+
+    def test_max_acceptable_threshold(self):
+        result = self.make_result()
+        assert result.max_acceptable_vms("default") == 2
+        assert result.max_acceptable_vms(
+            "default", acceptable_fraction=0.95
+        ) == 1
+        assert result.max_acceptable_vms(
+            "default", acceptable_fraction=0.1
+        ) == 3
+
+    def test_footprint_marginal(self):
+        footprint = Footprint(1000 * MiB, 100 * MiB)
+        assert footprint.marginal_vm_bytes == 900 * MiB

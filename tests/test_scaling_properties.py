@@ -1,0 +1,94 @@
+"""Property tests for the workload scaler used by every fast test run.
+
+The whole point of ``scale_workload`` is that shrunk runs keep the same
+*behavioural* parameters (fractions, policies) while all byte quantities
+shrink proportionally — otherwise scaled tests would validate a different
+system than the full-size benchmarks.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import Benchmark
+from repro.core.experiments.testbed import (
+    scale_kernel_profile,
+    scale_workload,
+)
+from repro.workloads.base import build_workload
+
+
+factors = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+class TestScaleWorkloadProperties:
+    @given(factor=factors)
+    @settings(max_examples=30, deadline=None)
+    def test_fractions_invariant(self, factor):
+        workload = build_workload(Benchmark.DAYTRADER)
+        scaled = scale_workload(workload, factor)
+        for name in (
+            "startup_load_fraction",
+            "heap_touched_fraction",
+            "heap_dirty_fraction",
+        ):
+            assert getattr(scaled.profile, name) == getattr(
+                workload.profile, name
+            )
+        assert scaled.jvm_config.gc_policy is workload.jvm_config.gc_policy
+        assert scaled.profile.middleware_id == workload.profile.middleware_id
+
+    @given(factor=factors)
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_scale_proportionally(self, factor):
+        workload = build_workload(Benchmark.DAYTRADER)
+        scaled = scale_workload(workload, factor)
+        for name in (
+            "jit_code_bytes",
+            "private_work_bytes",
+            "code_file_bytes",
+        ):
+            original = getattr(workload.profile, name)
+            value = getattr(scaled.profile, name)
+            # Proportional within the 4 KiB floor the scaler enforces.
+            assert value >= min(4096, original)
+            assert value <= original
+            if original * factor > 8192:
+                assert abs(value - original * factor) <= 1
+
+    @given(factor=factors)
+    @settings(max_examples=30, deadline=None)
+    def test_class_counts_never_vanish(self, factor):
+        workload = build_workload(Benchmark.TUSCANY_BIGBANK)
+        scaled = scale_workload(workload, factor)
+        assert scaled.profile.middleware_classes >= 8
+        assert scaled.profile.jcl_classes >= 4
+        assert scaled.profile.app_classes >= 2
+        assert scaled.profile.thread_count >= 2
+
+    @given(factor=factors)
+    @settings(max_examples=30, deadline=None)
+    def test_cache_still_fits_scaled_classes(self, factor):
+        """Scaling must preserve the invariant that the cacheable ROM
+        fits the configured cache, or preloaded test runs would silently
+        exercise the cache-full path instead."""
+        from repro.jvm.sharedcache import HEADER_BYTES
+
+        workload = scale_workload(
+            build_workload(Benchmark.DAYTRADER), factor
+        )
+        universe = workload.universe()
+        padded = sum(
+            ((cls.rom_bytes + 255) // 256) * 256
+            for cls in universe.cacheable_classes()
+        )
+        assert (
+            padded + HEADER_BYTES <= workload.jvm_config.shared_cache_bytes
+        )
+
+    @given(factor=factors)
+    @settings(max_examples=20, deadline=None)
+    def test_kernel_profile_scaling(self, factor):
+        profile = scale_kernel_profile(factor)
+        assert profile.code_bytes > 0
+        assert profile.total_bytes > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the simulation kernel (clock + rng)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngFactory, stable_hash64
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now_ms == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(100) == 100
+        assert clock.now_ms == 100
+
+    def test_advance_minutes(self):
+        clock = SimClock()
+        clock.advance_minutes(1.5)
+        assert clock.now_ms == 90_000
+
+    def test_now_seconds(self):
+        clock = SimClock(2500)
+        assert clock.now_seconds == 2.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestStableHash64:
+    def test_deterministic(self):
+        assert stable_hash64("a", 1) == stable_hash64("a", 1)
+
+    def test_sensitive_to_order(self):
+        assert stable_hash64("a", "b") != stable_hash64("b", "a")
+
+    def test_sensitive_to_type(self):
+        assert stable_hash64(1) != stable_hash64("1")
+        assert stable_hash64(True) != stable_hash64(1)
+
+    def test_never_zero(self):
+        # Zero is reserved for the all-zero page token.
+        for value in range(200):
+            assert stable_hash64("probe", value) != 0
+
+    def test_no_concat_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_hash64("ab", "c") != stable_hash64("a", "bc")
+
+    def test_bytes_and_str_distinct(self):
+        assert stable_hash64(b"x") != stable_hash64("x")
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            stable_hash64(["list"])  # type: ignore[list-item]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**31), max_size=6))
+    def test_fits_in_64_bits(self, parts):
+        value = stable_hash64(*parts)
+        assert 0 < value < 2**64
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(42)
+        a = factory.stream("heap", 1)
+        b = factory.stream("heap", 1)
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_names_differ(self):
+        factory = RngFactory(42)
+        a = factory.stream("heap", 1)
+        b = factory.stream("heap", 2)
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).stream("x")
+        b = RngFactory(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_derive_namespaces(self):
+        factory = RngFactory(42)
+        child = factory.derive("vm", "vm1")
+        # The child's stream differs from the same name on the parent.
+        assert (
+            child.stream("malloc").random()
+            != factory.stream("malloc").random()
+        )
+
+    def test_derive_deterministic(self):
+        a = RngFactory(42).derive("vm", "vm1").stream("s").random()
+        b = RngFactory(42).derive("vm", "vm1").stream("s").random()
+        assert a == b
+
+    def test_creation_order_irrelevant(self):
+        factory = RngFactory(7)
+        first = factory.stream("a").random()
+        factory.stream("b")  # interleaved creation
+        again = factory.stream("a").random()
+        assert first == again

@@ -1,0 +1,104 @@
+"""Unit tests for repro.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    DEFAULT_PAGE_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    align_down,
+    align_up,
+    bytes_for,
+    from_mib,
+    pages_for,
+    to_mib,
+)
+
+
+class TestConstants:
+    def test_scaling(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_default_page_size_is_4k(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+
+
+class TestPagesFor:
+    def test_exact_multiple(self):
+        assert pages_for(8192) == 2
+
+    def test_rounds_up(self):
+        assert pages_for(8193) == 3
+        assert pages_for(1) == 1
+
+    def test_zero(self):
+        assert pages_for(0) == 0
+
+    def test_custom_page_size(self):
+        assert pages_for(100, page_size=64) == 2
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(100, page_size=0)
+
+
+class TestBytesFor:
+    def test_round_trip(self):
+        assert bytes_for(3) == 3 * DEFAULT_PAGE_SIZE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_for(-2)
+
+
+class TestMibConversion:
+    def test_to_mib(self):
+        assert to_mib(5 * MiB) == 5.0
+
+    def test_from_mib(self):
+        assert from_mib(1.5) == MiB + MiB // 2
+
+
+class TestAlignment:
+    def test_align_up_already_aligned(self):
+        assert align_up(4096, 4096) == 4096
+
+    def test_align_up_rounds(self):
+        assert align_up(4097, 4096) == 8192
+
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+
+    def test_zero_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(5, 0)
+        with pytest.raises(ValueError):
+            align_down(5, -1)
+
+    @given(
+        value=st.integers(min_value=0, max_value=10**12),
+        alignment=st.integers(min_value=1, max_value=1 << 20),
+    )
+    def test_align_up_properties(self, value, alignment):
+        result = align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+    @given(
+        num_bytes=st.integers(min_value=0, max_value=10**12),
+        page_size=st.sampled_from([512, 4096, 65536]),
+    )
+    def test_pages_for_covers_bytes(self, num_bytes, page_size):
+        pages = pages_for(num_bytes, page_size)
+        assert pages * page_size >= num_bytes
+        assert (pages - 1) * page_size < num_bytes or pages == 0

@@ -1,0 +1,181 @@
+"""Unit tests for workload profiles, class universes and builders."""
+
+import pytest
+
+from repro.config import Benchmark
+from repro.sim.rng import RngFactory
+from repro.units import MiB
+from repro.workloads import (
+    DAYTRADER_PROFILE,
+    DAYTRADER_POWER_PROFILE,
+    SPECJ_PROFILE,
+    TPCW_PROFILE,
+    TUSCANY_PROFILE,
+    ClassUniverse,
+    LoaderKind,
+    build_workload,
+)
+from repro.workloads.profile import WorkloadProfile
+
+from tests.conftest import tiny_profile
+
+
+class TestProfiles:
+    def test_all_presets_valid(self):
+        for profile in (
+            DAYTRADER_PROFILE,
+            DAYTRADER_POWER_PROFILE,
+            SPECJ_PROFILE,
+            TPCW_PROFILE,
+            TUSCANY_PROFILE,
+        ):
+            assert profile.cacheable_classes > 0
+            assert profile.total_classes > profile.cacheable_classes
+
+    def test_jcl_is_minority(self):
+        """≈10 % of preloadable classes are Java system classes (§V.A)."""
+        for profile in (DAYTRADER_PROFILE, SPECJ_PROFILE, TPCW_PROFILE):
+            fraction = profile.jcl_classes / profile.cacheable_classes
+            assert 0.05 < fraction < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiny_profile(startup_load_fraction=1.5)
+        with pytest.raises(ValueError):
+            tiny_profile(heap_touched_fraction=0.0)
+        with pytest.raises(ValueError):
+            tiny_profile(middleware_classes=-1)
+
+    def test_was_profiles_share_middleware_id(self):
+        """DayTrader, SPECj and TPC-W run in the same WAS version, so
+        their middleware classes must be identical (Fig. 3(b))."""
+        assert (
+            DAYTRADER_PROFILE.middleware_id
+            == SPECJ_PROFILE.middleware_id
+            == TPCW_PROFILE.middleware_id
+        )
+        assert TUSCANY_PROFILE.middleware_id != DAYTRADER_PROFILE.middleware_id
+
+
+class TestClassUniverse:
+    def test_population_counts(self):
+        profile = tiny_profile()
+        universe = ClassUniverse(profile)
+        assert len(universe.jcl) == profile.jcl_classes
+        assert len(universe.middleware) == profile.middleware_classes
+        assert len(universe.app) == profile.app_classes
+        assert len(universe) == profile.total_classes
+
+    def test_cacheable_excludes_app(self):
+        universe = ClassUniverse(tiny_profile())
+        cacheable = universe.cacheable_classes()
+        assert all(c.loader is not LoaderKind.APPLICATION for c in cacheable)
+        assert len(cacheable) == tiny_profile().cacheable_classes
+
+    def test_rom_ids_stable_across_instances(self):
+        """Two universes of the same middleware version agree on every
+        class's ROM content — the cross-VM identity TPS needs."""
+        a = ClassUniverse(tiny_profile())
+        b = ClassUniverse(tiny_profile())
+        assert [c.rom_content_id for c in a.all_classes] == [
+            c.rom_content_id for c in b.all_classes
+        ]
+
+    def test_rom_ids_differ_across_versions(self):
+        a = ClassUniverse(tiny_profile(middleware_id="mw-1.0"))
+        b = ClassUniverse(tiny_profile(middleware_id="mw-2.0"))
+        assert [c.rom_content_id for c in a.all_classes] != [
+            c.rom_content_id for c in b.all_classes
+        ]
+
+    def test_startup_runtime_partition(self):
+        universe = ClassUniverse(tiny_profile(startup_load_fraction=0.8))
+        startup = universe.startup_classes()
+        runtime = universe.runtime_classes()
+        assert len(startup) + len(runtime) == len(universe)
+        names = {c.name for c in startup} | {c.name for c in runtime}
+        assert len(names) == len(universe)
+
+    def test_perturbed_order_is_permutation(self):
+        universe = ClassUniverse(tiny_profile())
+        rng = RngFactory(1)
+        order = universe.perturbed_order(universe.all_classes, rng, "vm1")
+        assert sorted(c.name for c in order) == sorted(
+            c.name for c in universe.all_classes
+        )
+
+    def test_perturbed_order_differs_per_process(self):
+        universe = ClassUniverse(tiny_profile())
+        rng = RngFactory(1)
+        a = universe.perturbed_order(universe.all_classes, rng, "vm1")
+        b = universe.perturbed_order(universe.all_classes, rng, "vm2")
+        assert [c.name for c in a] != [c.name for c in b]
+
+    def test_perturbed_order_deterministic(self):
+        universe = ClassUniverse(tiny_profile())
+        a = universe.perturbed_order(
+            universe.all_classes, RngFactory(1), "vm1"
+        )
+        b = universe.perturbed_order(
+            universe.all_classes, RngFactory(1), "vm1"
+        )
+        assert [c.name for c in a] == [c.name for c in b]
+
+    def test_class_sizes_aligned_and_positive(self):
+        universe = ClassUniverse(tiny_profile())
+        for cls in universe.all_classes:
+            assert cls.rom_bytes % 16 == 0
+            assert cls.ram_bytes % 16 == 0
+            assert cls.rom_bytes >= 64
+
+    def test_rom_bytes_totals(self):
+        universe = ClassUniverse(tiny_profile())
+        assert universe.cacheable_rom_bytes() < universe.total_rom_bytes()
+
+
+class TestBuildWorkload:
+    @pytest.mark.parametrize("bench", list(Benchmark))
+    def test_builds_every_benchmark(self, bench):
+        workload = build_workload(bench)
+        assert workload.benchmark is bench
+        assert workload.universe() is workload.universe()  # cached
+
+    def test_power_daytrader(self):
+        workload = build_workload(Benchmark.DAYTRADER, platform="power")
+        assert workload.profile.middleware_id.endswith("ppc64")
+        assert workload.jvm_config.heap_bytes == 1024 * MiB
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(Benchmark.DAYTRADER, platform="arm")
+
+    def test_daytrader_paper_configuration(self):
+        """Table III: 530 MB heap, 120 MB shared class cache."""
+        workload = build_workload(Benchmark.DAYTRADER)
+        assert workload.jvm_config.heap_bytes == 530 * MiB
+        assert workload.jvm_config.shared_cache_bytes == 120 * MiB
+        assert workload.driver_config.client_threads == 12
+
+    def test_tuscany_paper_configuration(self):
+        workload = build_workload(Benchmark.TUSCANY_BIGBANK)
+        assert workload.jvm_config.heap_bytes == 32 * MiB
+        assert workload.jvm_config.shared_cache_bytes == 25 * MiB
+        assert not workload.driver_config.uses_was
+
+    def test_cache_fits_cacheable_rom(self):
+        """Every paper workload's cacheable ROM fits its configured cache
+        (the paper reports ~100 MB used of the 120 MB WAS cache)."""
+        from repro.jvm.sharedcache import HEADER_BYTES
+
+        for benchmark in Benchmark:
+            workload = build_workload(benchmark)
+            universe = workload.universe()
+            # Account for the 256-byte alignment per class.
+            padded = sum(
+                ((c.rom_bytes + 255) // 256) * 256
+                for c in universe.cacheable_classes()
+            )
+            assert (
+                padded + HEADER_BYTES
+                <= workload.jvm_config.shared_cache_bytes
+            ), benchmark
