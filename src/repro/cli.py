@@ -6,12 +6,19 @@ Usage::
     python -m repro fig5a --scale 1.0
     python -m repro fig7
     python -m repro scenario daytrader4 --deployment shared-copy
+    python -m repro doctor daytrader4 --faults 1337:0.25
     python -m repro tables
 
 Figures 2–5 run the page-level breakdown scenarios; Fig. 6 the PowerVM
 experiment; Figs. 7–8 the consolidation sweeps.  ``--scale`` shrinks all
 memory sizes proportionally (default 0.1 for interactive use; pass 1.0
 for the paper's actual sizes).
+
+``--faults SEED[:RATE]`` arms the fault-injection plan on any dump-based
+command: collection turns resilient (retry, backoff, quarantine), the
+dump is cross-validated, and breakdowns carry explicit bounds for
+whatever the damage made unattributable.  ``doctor`` runs one scenario
+under that regime and prints the full collection + validation reports.
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from repro.core.report import (
     render_series,
     render_vm_breakdown,
 )
+from repro.errors import ReproError
+from repro.faults import FaultPlan
 from repro.units import MiB
 
 #: figure id -> (scenario, deployment, which breakdown to print)
@@ -59,6 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="measurement ticks for the breakdown scenarios",
     )
     common.add_argument("--seed", type=int, default=20130421)
+    common.add_argument(
+        "--faults", metavar="SEED[:RATE]", default=None,
+        help=(
+            "inject collection faults from this seed (optional RATE in "
+            "[0,1] overrides every per-kind probability)"
+        ),
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -86,7 +102,33 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[d.value for d in CacheDeployment],
         default="none",
     )
+    doctor = sub.add_parser(
+        "doctor", parents=[common],
+        help="collect one scenario resiliently and print its health reports",
+    )
+    doctor.add_argument("name", choices=SCENARIOS)
+    doctor.add_argument(
+        "--deployment",
+        choices=[d.value for d in CacheDeployment],
+        default="none",
+    )
     return parser
+
+
+def _fault_plan(args) -> Optional[FaultPlan]:
+    if getattr(args, "faults", None) is None:
+        return None
+    return FaultPlan.from_spec(args.faults)
+
+
+def _print_fault_reports(result) -> None:
+    """The collection + validation tail shared by figures and doctor."""
+    if result.collection_report is not None:
+        print()
+        print(result.collection_report.render())
+    if result.validation_report is not None:
+        print()
+        print(result.validation_report.render())
 
 
 def _run_breakdown_figure(figure: str, args) -> None:
@@ -94,6 +136,7 @@ def _run_breakdown_figure(figure: str, args) -> None:
     result = run_scenario(
         scenario, deployment, scale=args.scale,
         measurement_ticks=args.ticks, seed=args.seed,
+        faults=_fault_plan(args),
     )
     title = (
         f"{figure}: {scenario} ({deployment.value}), scale={args.scale}"
@@ -104,9 +147,17 @@ def _run_breakdown_figure(figure: str, args) -> None:
         print(render_java_breakdown(result.java_breakdown, title))
     print()
     print(result.ksm_stats)
+    if args.faults is not None:
+        _print_fault_reports(result)
 
 
 def _run_fig6(args) -> None:
+    if args.faults is not None:
+        print(
+            "note: fig6 models the PowerVM hosts without a crash dump; "
+            "--faults has nothing to inject and is ignored",
+            file=sys.stderr,
+        )
     result = run_powervm_experiment(scale=args.scale, seed=args.seed)
     cases = ["not-preloaded", "preloaded"]
     print(render_series(
@@ -126,14 +177,15 @@ def _run_fig6(args) -> None:
 
 
 def _run_consolidation(figure: str, args) -> None:
+    faults = _fault_plan(args)
     if figure == "fig7":
         result = run_daytrader_consolidation(
-            footprint_scale=args.scale, seed=args.seed
+            footprint_scale=args.scale, seed=args.seed, faults=faults
         )
         unit = "req/s"
     else:
         result = run_specj_consolidation(
-            footprint_scale=args.scale, seed=args.seed
+            footprint_scale=args.scale, seed=args.seed, faults=faults
         )
         unit = "EjOPS"
     print(render_series(
@@ -152,6 +204,36 @@ def _run_consolidation(figure: str, args) -> None:
             f"S={footprint.per_nonprimary_saving_bytes / MiB:.0f} MB, "
             f"max acceptable VMs={result.max_acceptable_vms(label)}"
         )
+    if faults is not None:
+        print(
+            "  (footprints measured under fault injection: R and S come "
+            "from the surviving, non-quarantined VMs)"
+        )
+
+
+def _run_doctor(args) -> None:
+    faults = _fault_plan(args)
+    result = run_scenario(
+        args.name,
+        CacheDeployment(args.deployment),
+        scale=args.scale,
+        measurement_ticks=args.ticks,
+        seed=args.seed,
+        faults=faults,
+    )
+    mode = "clean collection" if faults is None else f"faults {args.faults}"
+    print(f"doctor: {args.name} ({args.deployment}), {mode}")
+    _print_fault_reports(result)
+    if result.validation_report is None:
+        # No fault plan: still run the cross-layer checks on the dump.
+        from repro.core.validate import validate_dump
+
+        print()
+        print(validate_dump(result.dump).render())
+    print()
+    print(render_vm_breakdown(
+        result.vm_breakdown, f"{args.name} breakdown under this dump"
+    ))
 
 
 def _run_tables() -> None:
@@ -162,7 +244,7 @@ def _run_tables() -> None:
         SPECJ_WORKLOAD,
         TUSCANY_JVM,
     )
-    from repro.core.categories import MemoryCategory
+    from repro.core.categories import TABLE_IV_CATEGORIES
     from repro.units import GiB
 
     print(render_kv(
@@ -188,35 +270,44 @@ def _run_tables() -> None:
     ))
     print(render_kv(
         "Table IV: Java memory categories",
-        [(c.display_name, c.value) for c in MemoryCategory],
+        [(c.display_name, c.value) for c in TABLE_IV_CATEGORIES],
     ))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
-    if command in _BREAKDOWN_FIGURES:
-        _run_breakdown_figure(command, args)
-    elif command == "fig6":
-        _run_fig6(args)
-    elif command in ("fig7", "fig8"):
-        _run_consolidation(command, args)
-    elif command == "tables":
-        _run_tables()
-    elif command == "scenario":
-        result = run_scenario(
-            args.name,
-            CacheDeployment(args.deployment),
-            scale=args.scale,
-            measurement_ticks=args.ticks,
-            seed=args.seed,
-        )
-        print(render_vm_breakdown(
-            result.vm_breakdown,
-            f"{args.name} ({args.deployment}), scale={args.scale}",
-        ))
-        print()
-        print(render_java_breakdown(result.java_breakdown, "per-JVM"))
+    try:
+        if command in _BREAKDOWN_FIGURES:
+            _run_breakdown_figure(command, args)
+        elif command == "fig6":
+            _run_fig6(args)
+        elif command in ("fig7", "fig8"):
+            _run_consolidation(command, args)
+        elif command == "tables":
+            _run_tables()
+        elif command == "doctor":
+            _run_doctor(args)
+        elif command == "scenario":
+            result = run_scenario(
+                args.name,
+                CacheDeployment(args.deployment),
+                scale=args.scale,
+                measurement_ticks=args.ticks,
+                seed=args.seed,
+                faults=_fault_plan(args),
+            )
+            print(render_vm_breakdown(
+                result.vm_breakdown,
+                f"{args.name} ({args.deployment}), scale={args.scale}",
+            ))
+            print()
+            print(render_java_breakdown(result.java_breakdown, "per-JVM"))
+            if args.faults is not None:
+                _print_fault_reports(result)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

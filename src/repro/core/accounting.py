@@ -29,6 +29,7 @@ from repro.core.dump import SystemDump
 from repro.core.translate import (
     iter_process_frames,
     iter_vm_process_pages,
+    qemu_table_name,
     resolve_gfn,
 )
 from repro.guestos.kernel import OwnerKind
@@ -136,12 +137,22 @@ class CategoryUsage:
 
 @dataclass
 class OwnerAccounting:
-    """Owner-oriented result: per-user, per-category tallies."""
+    """Owner-oriented result: per-user, per-category tallies.
+
+    ``unattributable_bytes`` only fills when :func:`apply_degradation`
+    runs over a damaged dump: bytes known to be resident but impossible
+    to classify.  Clean dumps leave it empty, so every figure stays
+    bit-identical to the strict pipeline.
+    """
 
     page_size: int
     cells: Dict[UserKey, Dict[Optional[MemoryCategory], CategoryUsage]] = (
         field(default_factory=dict)
     )
+    #: per-user resident-but-unclassifiable bytes (degraded dumps only).
+    unattributable_bytes: Dict[UserKey, int] = field(default_factory=dict)
+    #: unclassifiable bytes not assignable to any user (collection skew).
+    unassigned_unattributable_bytes: int = 0
 
     def cell(
         self, user: UserKey, category: Optional[MemoryCategory]
@@ -178,6 +189,41 @@ class OwnerAccounting:
         self, user: UserKey, category: Optional[MemoryCategory]
     ) -> CategoryUsage:
         return self.cells.get(user, {}).get(category, CategoryUsage())
+
+    # -- degraded-mode bounds -------------------------------------------
+
+    def unattributable_of(self, user: UserKey) -> int:
+        return self.unattributable_bytes.get(user, 0)
+
+    def total_unattributable(self) -> int:
+        return (
+            sum(self.unattributable_bytes.values())
+            + self.unassigned_unattributable_bytes
+        )
+
+    def usage_bounds_of(self, user: UserKey) -> Tuple[int, int]:
+        """[lower, upper] physical bytes of ``user``: the attributed
+        tally, plus whatever damage made unattributable."""
+        usage = self.usage_of(user)
+        return usage, usage + self.unattributable_of(user)
+
+    def category_bounds(
+        self, user: UserKey, category: Optional[MemoryCategory]
+    ) -> Tuple[int, int]:
+        """[lower, upper] for one cell: any unattributable byte of the
+        user could belong to any of its categories."""
+        usage = self.category_usage(user, category).usage_bytes
+        return usage, usage + self.unattributable_of(user)
+
+    def total_usage_bounds(self) -> Tuple[int, int]:
+        """[lower, upper] for backed physical memory across all users.
+
+        For any damaged dump the clean-run total lies inside these
+        bounds: the lower bound is what survived attribution, the upper
+        bound adds every page the validation layer flagged as lost.
+        """
+        total = self.total_usage()
+        return total, total + self.total_unattributable()
 
 
 def _owner_sort_key(mapping: Mapping) -> Tuple:
@@ -241,3 +287,91 @@ def distribution_oriented_accounting(
             result.pss_bytes[user] = result.pss_bytes.get(user, 0.0) + share
             result.rss_bytes[user] = result.rss_bytes.get(user, 0) + page
     return result
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode accounting: turn validation findings into error bars
+# ----------------------------------------------------------------------
+
+#: Validation codes whose page counts are pages *lost to attribution*
+#: (versus report-only codes that shift labels but keep totals exact).
+_DEGRADING_CODES = frozenset({
+    "memslot-gap",
+    "memslot-overlap",
+    "pte-out-of-range",
+    "owner-pid-mismatch",
+})
+
+
+def _finding_user(dump: SystemDump, finding) -> Optional[UserKey]:
+    """The UserKey a page-level finding charges (None: not user-scoped)."""
+    if finding.pid is None:
+        return None
+    try:
+        guest = dump.guest(finding.vm_name)
+    except KeyError:
+        return None
+    if finding.pid == -1:
+        return UserKey(
+            UserKind.KERNEL, -1, guest.vm_index, guest.vm_name
+        )
+    for process in guest.processes:
+        if process.pid == finding.pid:
+            kind = UserKind.JAVA if process.is_java else UserKind.PROCESS
+            return UserKey(
+                kind, process.pid, guest.vm_index, guest.vm_name
+            )
+    return None
+
+
+def apply_degradation(
+    accounting: OwnerAccounting,
+    dump: SystemDump,
+    validation,
+    collection=None,
+) -> OwnerAccounting:
+    """Convert validation findings and quarantines into explicit bounds.
+
+    Every page the validation layer flagged as lost to attribution — a
+    gfn no memslot covers, a corrupt PTE, an ambiguous overlap — is
+    added to its user's ``unattributable_bytes``; a quarantined guest
+    contributes its whole resident VM-process footprint; refcount skew
+    lands in the unassigned bucket.  The result: per-user and total
+    tallies carry [lower, upper] bounds that contain the clean-run
+    value, instead of silently under-reporting.
+
+    ``validation`` is a :class:`repro.core.validate.ValidationReport`;
+    ``collection`` (optional) a :class:`repro.core.dump.CollectionReport`.
+    Returns ``accounting`` for chaining.
+    """
+    page = accounting.page_size
+    for finding in validation.findings:
+        if finding.code == "refcount-mismatch":
+            accounting.unassigned_unattributable_bytes += (
+                finding.count * page
+            )
+            continue
+        if finding.code not in _DEGRADING_CODES:
+            continue
+        user = _finding_user(dump, finding)
+        if user is None:
+            continue
+        accounting.unattributable_bytes[user] = (
+            accounting.unattributable_of(user) + finding.count * page
+        )
+    if collection is not None:
+        for record in collection.guests:
+            if not record.quarantined:
+                continue
+            table = dump.host.page_tables.get(
+                qemu_table_name(record.vm_name), {}
+            )
+            if not table:
+                continue
+            user = UserKey(
+                UserKind.VM_SELF, -1, record.vm_index, record.vm_name
+            )
+            accounting.unattributable_bytes[user] = (
+                accounting.unattributable_of(user) + len(table) * page
+            )
+    return accounting

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.accounting import (
     CategoryUsage,
@@ -42,6 +42,8 @@ class VmRow:
     vm_index: int
     usage_bytes: Dict[str, int] = field(default_factory=dict)
     shared_bytes: Dict[str, int] = field(default_factory=dict)
+    #: resident-but-unclassifiable bytes (nonzero only for damaged dumps).
+    unattributable_bytes: int = 0
 
     def total_usage(self) -> int:
         return sum(self.usage_bytes.values())
@@ -49,12 +51,19 @@ class VmRow:
     def total_shared(self) -> int:
         return sum(self.shared_bytes.values())
 
+    def usage_bounds(self) -> Tuple[int, int]:
+        """[lower, upper] physical usage of this VM under dump damage."""
+        usage = self.total_usage()
+        return usage, usage + self.unattributable_bytes
+
 
 @dataclass
 class VmBreakdown:
     """The whole Fig. 2 / Fig. 4 dataset."""
 
     rows: List[VmRow]
+    #: unclassifiable bytes not assignable to any VM (collection skew).
+    unassigned_unattributable_bytes: int = 0
 
     def total_usage(self) -> int:
         """Host physical memory used by all guest VMs together."""
@@ -62,6 +71,21 @@ class VmBreakdown:
 
     def total_shared(self) -> int:
         return sum(row.total_shared() for row in self.rows)
+
+    def total_unattributable(self) -> int:
+        return (
+            sum(row.unattributable_bytes for row in self.rows)
+            + self.unassigned_unattributable_bytes
+        )
+
+    def total_usage_bounds(self) -> Tuple[int, int]:
+        """[lower, upper] for the all-VM total; contains the clean value."""
+        total = self.total_usage()
+        return total, total + self.total_unattributable()
+
+    @property
+    def degraded(self) -> bool:
+        return self.total_unattributable() > 0
 
     def row(self, vm_name: str) -> VmRow:
         for row in self.rows:
@@ -73,22 +97,35 @@ class VmBreakdown:
 def vm_breakdown(accounting: OwnerAccounting) -> VmBreakdown:
     """Aggregate the owner-oriented cells into the Fig. 2 groups."""
     rows: Dict[str, VmRow] = {}
-    order: List[str] = []
-    for user in accounting.users():
-        if user.vm_name not in rows:
-            rows[user.vm_name] = VmRow(
-                vm_name=user.vm_name,
-                vm_index=user.vm_index,
+
+    def row_for(vm_name: str, vm_index: int) -> VmRow:
+        if vm_name not in rows:
+            rows[vm_name] = VmRow(
+                vm_name=vm_name,
+                vm_index=vm_index,
                 usage_bytes={group: 0 for group in VM_GROUPS},
                 shared_bytes={group: 0 for group in VM_GROUPS},
             )
-            order.append(user.vm_name)
-        row = rows[user.vm_name]
+        return rows[vm_name]
+
+    for user in accounting.users():
+        row = row_for(user.vm_name, user.vm_index)
         group = _KIND_TO_GROUP[user.kind]
         row.usage_bytes[group] += accounting.usage_of(user)
         row.shared_bytes[group] += accounting.shared_of(user)
+    # A quarantined VM has no cells, only unattributable bytes; it still
+    # deserves a (zero-usage, bounded) row.
+    for user, num_bytes in sorted(accounting.unattributable_bytes.items()):
+        row_for(user.vm_name, user.vm_index).unattributable_bytes += (
+            num_bytes
+        )
     ordered = sorted(rows.values(), key=lambda row: row.vm_index)
-    return VmBreakdown(rows=ordered)
+    return VmBreakdown(
+        rows=ordered,
+        unassigned_unattributable_bytes=(
+            accounting.unassigned_unattributable_bytes
+        ),
+    )
 
 
 @dataclass
@@ -101,9 +138,24 @@ class JavaProcessRow:
     categories: Dict[MemoryCategory, CategoryUsage] = field(
         default_factory=dict
     )
+    #: resident-but-unclassifiable bytes of this process (damaged dumps).
+    unattributable_bytes: int = 0
 
     def category(self, category: MemoryCategory) -> CategoryUsage:
         return self.categories.get(category, CategoryUsage())
+
+    def category_bounds(
+        self, category: MemoryCategory
+    ) -> Tuple[int, int]:
+        """[lower, upper] physical bytes of one category: any
+        unattributable byte could belong to any category."""
+        usage = self.category(category).usage_bytes
+        return usage, usage + self.unattributable_bytes
+
+    def total_bounds(self) -> Tuple[int, int]:
+        """[lower, upper] for this process's mapped bytes."""
+        total = self.total_bytes()
+        return total, total + self.unattributable_bytes
 
     def total_bytes(self) -> int:
         """Mapped bytes of the process (bar length in the figure)."""
@@ -137,6 +189,13 @@ class JavaBreakdown:
 
     rows: List[JavaProcessRow]
 
+    def total_unattributable(self) -> int:
+        return sum(row.unattributable_bytes for row in self.rows)
+
+    @property
+    def degraded(self) -> bool:
+        return self.total_unattributable() > 0
+
     def row(self, vm_name: str) -> JavaProcessRow:
         for row in self.rows:
             if row.vm_name == vm_name:
@@ -157,7 +216,8 @@ def java_breakdown(accounting: OwnerAccounting) -> JavaBreakdown:
     rows: List[JavaProcessRow] = []
     for user in accounting.java_users():
         row = JavaProcessRow(
-            vm_name=user.vm_name, vm_index=user.vm_index, pid=user.pid
+            vm_name=user.vm_name, vm_index=user.vm_index, pid=user.pid,
+            unattributable_bytes=accounting.unattributable_of(user),
         )
         for category in FIGURE_ORDER:
             cell = accounting.category_usage(user, category)

@@ -14,7 +14,13 @@ from typing import Optional
 
 
 class MemoryCategory(enum.Enum):
-    """The seven Java memory categories of Table IV."""
+    """The seven Java memory categories of Table IV.
+
+    :attr:`UNATTRIBUTABLE` is ours, not the paper's: pages known to be
+    resident but unclassifiable because the dump is damaged (a dropped
+    memslot, a torn page table, a quarantined guest).  It never appears
+    when a clean dump is analysed.
+    """
 
     CODE = "code"
     CLASS_METADATA = "class-metadata"
@@ -23,6 +29,7 @@ class MemoryCategory(enum.Enum):
     JAVA_HEAP = "java-heap"
     JVM_WORK = "jvm-work-area"
     STACK = "stack"
+    UNATTRIBUTABLE = "unattributable"
 
     @property
     def display_name(self) -> str:
@@ -37,7 +44,20 @@ _DISPLAY_NAMES = {
     MemoryCategory.JAVA_HEAP: "Java heap",
     MemoryCategory.JVM_WORK: "JVM work area",
     MemoryCategory.STACK: "Stack",
+    MemoryCategory.UNATTRIBUTABLE: "Unattributable",
 }
+
+#: The paper's Table IV, in definition order (excludes our degraded-mode
+#: ``UNATTRIBUTABLE`` pseudo-category).
+TABLE_IV_CATEGORIES = (
+    MemoryCategory.CODE,
+    MemoryCategory.CLASS_METADATA,
+    MemoryCategory.JIT_CODE,
+    MemoryCategory.JIT_WORK,
+    MemoryCategory.JAVA_HEAP,
+    MemoryCategory.JVM_WORK,
+    MemoryCategory.STACK,
+)
 
 #: Exact-tag and prefix rules mapping VMA tags to categories.  The shared
 #: class cache mapping (``java:scc``) is class metadata: it holds the ROM

@@ -12,21 +12,47 @@ The analysis never looks at the live system.  It consumes dumps:
   guest kernel's gfn-ownership map.
 
 :func:`collect_system_dump` gathers all three layers into a
-:class:`SystemDump`.  Collection fails loudly when a kernel is not a debug
-build, matching the real tooling's requirement.
+:class:`SystemDump`.  Without a fault plan, collection fails loudly when
+a kernel is not a debug build, matching the real tooling's requirement.
+With a :class:`~repro.faults.FaultPlan`, collection turns *resilient*:
+transient dump failures are retried with a bounded deterministic
+backoff, guests that stay unanalyzable are quarantined instead of
+killing the run, and everything that happened is recorded in a
+:class:`CollectionReport` attached to the dump.
 """
 
 from __future__ import annotations
 
+import json
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import DumpUnanalyzableError
+from repro.faults.inject import inject_guest_faults, inject_system_faults
+from repro.faults.plan import (
+    BACKOFF_SCHEDULE_MS,
+    MAX_DUMP_ATTEMPTS,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+)
 from repro.guestos.kernel import GuestKernel, PageOwner
 from repro.hypervisor.kvm import KvmGuestVm, KvmHost, MemSlot
 
-
-class DumpUnanalyzableError(Exception):
-    """A kernel without debug info cannot be analysed by crash(8)."""
+__all__ = [
+    "CollectionReport",
+    "DumpUnanalyzableError",
+    "GuestCollectionRecord",
+    "GuestDump",
+    "GuestProcessDump",
+    "HostDump",
+    "SystemDump",
+    "VmaRecord",
+    "collect_system_dump",
+    "dump_guest",
+    "read_kvm_memslots",
+]
 
 
 @dataclass(frozen=True)
@@ -52,15 +78,36 @@ class GuestProcessDump:
     page_table: Dict[int, int]  # vpn -> gfn
     vmas: List[VmaRecord]
 
+    def __post_init__(self) -> None:
+        self._vma_starts: Optional[List[int]] = None
+        self._vmas_sorted: List[VmaRecord] = []
+
     @property
     def is_java(self) -> bool:
         """Java processes are identified by their JVM VMAs."""
         return any(vma.tag.startswith("java:") for vma in self.vmas)
 
     def vma_of(self, vpn: int) -> Optional[VmaRecord]:
-        for vma in self.vmas:
+        """The VMA containing ``vpn`` (bisect over sorted start vpns).
+
+        When VMAs overlap — which only a damaged dump produces — the
+        latest-starting VMA containing ``vpn`` wins, deterministically.
+        """
+        if self._vma_starts is None or len(self._vmas_sorted) != len(
+            self.vmas
+        ):
+            self._vmas_sorted = sorted(
+                self.vmas, key=lambda vma: vma.start_vpn
+            )
+            self._vma_starts = [
+                vma.start_vpn for vma in self._vmas_sorted
+            ]
+        index = bisect_right(self._vma_starts, vpn) - 1
+        while index >= 0:
+            vma = self._vmas_sorted[index]
             if vma.start_vpn <= vpn < vma.end_vpn:
                 return vma
+            index -= 1
         return None
 
 
@@ -75,10 +122,36 @@ class GuestDump:
     gfn_owners: Dict[int, PageOwner]
     guest_npages: int
 
+    def __post_init__(self) -> None:
+        self._slot_bases: Optional[List[int]] = None
+        self._slots_sorted: List[MemSlot] = []
+
+    def invalidate_caches(self) -> None:
+        """Drop the sorted-slot index (after mutating ``memslots``)."""
+        self._slot_bases = None
+        self._slots_sorted = []
+
     def translate_gfn(self, gfn: int) -> Optional[int]:
-        for slot in self.memslots:
+        """gfn → host vpn, bisecting the slots sorted by ``base_gfn``.
+
+        Overlapping slots (a damaged dump) resolve to the latest-based
+        containing slot, deterministically.
+        """
+        if self._slot_bases is None or len(self._slots_sorted) != len(
+            self.memslots
+        ):
+            self._slots_sorted = sorted(
+                self.memslots, key=lambda slot: slot.base_gfn
+            )
+            self._slot_bases = [
+                slot.base_gfn for slot in self._slots_sorted
+            ]
+        index = bisect_right(self._slot_bases, gfn) - 1
+        while index >= 0:
+            slot = self._slots_sorted[index]
             if slot.contains(gfn):
                 return slot.to_host_vpn(gfn)
+            index -= 1
         return None
 
 
@@ -97,6 +170,90 @@ class HostDump:
 
 
 @dataclass
+class GuestCollectionRecord:
+    """What happened while dumping one guest."""
+
+    vm_name: str
+    vm_index: int
+    attempts: int = 0
+    retries: int = 0
+    backoff_ms: List[int] = field(default_factory=list)
+    quarantined: bool = False
+    reason: str = ""
+    faults: List[InjectedFault] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "vm_name": self.vm_name,
+            "vm_index": self.vm_index,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "backoff_ms": list(self.backoff_ms),
+            "quarantined": self.quarantined,
+            "reason": self.reason,
+            "faults": [fault.as_dict() for fault in self.faults],
+        }
+
+
+@dataclass
+class CollectionReport:
+    """Structured outcome of one resilient collection."""
+
+    guests: List[GuestCollectionRecord] = field(default_factory=list)
+    fault_seed: Optional[int] = None
+
+    @property
+    def quarantined_vms(self) -> List[str]:
+        return [g.vm_name for g in self.guests if g.quarantined]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(g.retries for g in self.guests)
+
+    def record(self, vm_name: str) -> Optional[GuestCollectionRecord]:
+        for guest in self.guests:
+            if guest.vm_name == vm_name:
+                return guest
+        return None
+
+    def faults_injected(self) -> List[InjectedFault]:
+        return [fault for g in self.guests for fault in g.faults]
+
+    def fault_kinds_injected(self) -> List[FaultKind]:
+        return sorted(
+            {fault.kind for fault in self.faults_injected()},
+            key=lambda kind: kind.value,
+        )
+
+    def to_json(self) -> str:
+        """Deterministic serialization (byte-identical per seed)."""
+        payload = {
+            "fault_seed": self.fault_seed,
+            "guests": [g.as_dict() for g in self.guests],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def render(self) -> str:
+        lines = ["Collection report", "================="]
+        for guest in self.guests:
+            status = "QUARANTINED" if guest.quarantined else "ok"
+            line = (
+                f"  {guest.vm_name:<8} {status:<12} "
+                f"attempts={guest.attempts} retries={guest.retries}"
+            )
+            if guest.backoff_ms:
+                line += f" backoff_ms={guest.backoff_ms}"
+            if guest.reason:
+                line += f"  ({guest.reason})"
+            lines.append(line)
+            for fault in guest.faults:
+                lines.append(f"      fault {fault.kind.value}: {fault.detail}")
+        if not self.guests:
+            lines.append("  (no guests attempted)")
+        return "\n".join(lines)
+
+
+@dataclass
 class SystemDump:
     """All translation layers, frozen at collection time."""
 
@@ -104,12 +261,22 @@ class SystemDump:
     guests: List[GuestDump]
     #: frame id -> content token, for zero-page and dedup diagnostics.
     frame_tokens: Dict[int, int] = field(default_factory=dict)
+    #: frame id -> mapping refcount at collection time (the dumped
+    #: struct-page array); validation checks it against PTE sharer counts.
+    frame_refcounts: Dict[int, int] = field(default_factory=dict)
+    #: how collection went (attached by :func:`collect_system_dump`).
+    collection: Optional[CollectionReport] = None
 
     def guest(self, vm_name: str) -> GuestDump:
         for guest in self.guests:
             if guest.vm_name == vm_name:
                 return guest
-        raise KeyError(f"no guest {vm_name!r} in dump")
+        available = ", ".join(
+            repr(guest.vm_name) for guest in self.guests
+        ) or "none"
+        raise KeyError(
+            f"no guest {vm_name!r} in dump (available: {available})"
+        )
 
 
 def read_kvm_memslots(vm: KvmGuestVm) -> List[MemSlot]:
@@ -156,16 +323,80 @@ def dump_guest(
     )
 
 
+def _dump_guest_resilient(
+    vm: KvmGuestVm,
+    kernel: GuestKernel,
+    index: int,
+    faults: FaultPlan,
+    record: GuestCollectionRecord,
+) -> Optional[GuestDump]:
+    """One guest under the fault plan: retry, inject, or quarantine."""
+    kinds = faults.decide(vm.name)
+    if FaultKind.NON_DEBUG_KERNEL in kinds:
+        record.faults.append(InjectedFault(
+            FaultKind.NON_DEBUG_KERNEL, vm.name,
+            "guest booted without the debuginfo kernel",
+        ))
+    non_debug = (
+        FaultKind.NON_DEBUG_KERNEL in kinds or not kernel.debug_kernel
+    )
+    if non_debug:
+        record.attempts = 1
+        record.quarantined = True
+        record.reason = (
+            "non-debug kernel: crash(8) cannot walk its page tables"
+        )
+        return None
+    failing_attempts = 0
+    if FaultKind.TRANSIENT_DUMP_FAILURE in kinds:
+        failing_attempts = faults.transient_failures(vm.name)
+        record.faults.append(InjectedFault(
+            FaultKind.TRANSIENT_DUMP_FAILURE, vm.name,
+            f"first {failing_attempts} dump attempt(s) fail",
+        ))
+    for attempt in range(1, MAX_DUMP_ATTEMPTS + 1):
+        record.attempts = attempt
+        if attempt <= failing_attempts:
+            if attempt < MAX_DUMP_ATTEMPTS:
+                record.retries += 1
+                record.backoff_ms.append(BACKOFF_SCHEDULE_MS[
+                    min(attempt - 1, len(BACKOFF_SCHEDULE_MS) - 1)
+                ])
+            continue
+        try:
+            guest = dump_guest(vm, kernel, index)
+        except DumpUnanalyzableError as exc:
+            record.quarantined = True
+            record.reason = str(exc)
+            return None
+        record.faults.extend(inject_guest_faults(guest, kinds, faults))
+        return guest
+    record.quarantined = True
+    record.reason = (
+        f"transient dump failure persisted across "
+        f"{MAX_DUMP_ATTEMPTS} attempts"
+    )
+    return None
+
+
 def collect_system_dump(
     host: KvmHost,
     kernels: Dict[str, GuestKernel],
     host_debug_kernel: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> SystemDump:
     """Collect the full three-layer dump for a KVM host.
 
     ``kernels`` maps guest VM name → its :class:`GuestKernel` (the virsh
     dump source).  Guests without an entry are skipped (their memory shows
     up only as VM-process pages).
+
+    Without ``faults``, a non-debug kernel raises
+    :class:`DumpUnanalyzableError` — the historical strict behaviour.
+    With a fault plan, collection is resilient: unusable guests are
+    quarantined (the dump proceeds with the survivors) and the attached
+    :class:`CollectionReport` records attempts, retries, backoff and
+    every fault injected.
     """
     if not host_debug_kernel:
         raise DumpUnanalyzableError(
@@ -174,7 +405,12 @@ def collect_system_dump(
         )
     page_tables: Dict[str, Dict[int, int]] = {}
     frame_tokens: Dict[int, int] = {}
+    frame_refcounts: Dict[int, int] = {}
     guests: List[GuestDump] = []
+    report = CollectionReport(
+        fault_seed=faults.seed if faults is not None else None
+    )
+    attempted: List[str] = []
     for index, vm in enumerate(host.guests):
         page_tables[vm.page_table.name] = vm.page_table.snapshot()
         for _vpn, fid in vm.page_table.entries():
@@ -182,11 +418,32 @@ def collect_system_dump(
                 frame = host.physmem.frame(fid)
                 if frame is not None:
                     frame_tokens[fid] = frame.token
+                    frame_refcounts[fid] = frame.refcount
         kernel = kernels.get(vm.name)
-        if kernel is not None:
-            guests.append(dump_guest(vm, kernel, index))
-    return SystemDump(
+        if kernel is None:
+            continue
+        record = GuestCollectionRecord(vm_name=vm.name, vm_index=index)
+        report.guests.append(record)
+        if faults is None:
+            guest = dump_guest(vm, kernel, index)
+            record.attempts = 1
+            guests.append(guest)
+            continue
+        attempted.append(vm.name)
+        guest = _dump_guest_resilient(vm, kernel, index, faults, record)
+        if guest is not None:
+            guests.append(guest)
+    dump = SystemDump(
         host=HostDump(page_size=host.page_size, page_tables=page_tables),
         guests=guests,
         frame_tokens=frame_tokens,
+        frame_refcounts=frame_refcounts,
+        collection=report,
     )
+    if faults is not None and attempted:
+        guest_kinds = {name: faults.decide(name) for name in attempted}
+        for fault in inject_system_faults(dump, faults, guest_kinds):
+            record = report.record(fault.vm_name)
+            if record is not None:
+                record.faults.append(fault)
+    return dump

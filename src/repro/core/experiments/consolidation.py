@@ -65,8 +65,14 @@ def measure_footprint(
     scale: float = 1.0,
     measurement_ticks: int = 4,
     seed: int = 20130421,
+    faults=None,
 ) -> Footprint:
-    """Stage 1: measure R and S from a small page-level testbed."""
+    """Stage 1: measure R and S from a small page-level testbed.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) switches collection
+    to resilient mode: quarantined guests drop out and R/S come from the
+    surviving VMs only.
+    """
     scaled = scale_workload(workload, scale)
     specs = [
         GuestSpec(f"vm{i + 1}", max(1, int(guest_memory_bytes * scale)), scaled)
@@ -88,8 +94,11 @@ def measure_footprint(
             1 << 16, int(config.qemu_overhead_bytes * scale)
         )
     testbed = KvmTestbed(specs, config)
-    result = testbed.measure()
+    result = testbed.measure(faults=faults)
     rows = result.vm_breakdown.rows
+    if faults is not None:
+        survivors = [row for row in rows if row.total_usage() > 0]
+        rows = survivors or rows
     # R: the mapped footprint of one VM (usage + shared are both "mapped").
     mapped = [row.total_usage() + row.total_shared() for row in rows]
     resident = sum(mapped) / len(mapped)
@@ -153,6 +162,7 @@ def _sweep(
     footprint_scale: float,
     footprint_guests: int,
     seed: int,
+    faults=None,
 ) -> ConsolidationResult:
     result = ConsolidationResult(
         benchmark=workload.benchmark,
@@ -167,6 +177,7 @@ def _sweep(
             guests=footprint_guests,
             scale=footprint_scale,
             seed=seed,
+            faults=faults,
         )
         result.footprints[label] = footprint
         points = []
@@ -191,6 +202,7 @@ def run_daytrader_consolidation(
     footprint_guests: int = 3,
     host_ram_bytes: int = 6 * GiB,
     seed: int = 20130421,
+    faults=None,
 ) -> ConsolidationResult:
     """Fig. 7: DayTrader throughput versus the number of guest VMs."""
     workload = build_workload(Benchmark.DAYTRADER)
@@ -211,6 +223,7 @@ def run_daytrader_consolidation(
         footprint_scale,
         footprint_guests,
         seed,
+        faults=faults,
     )
 
 
@@ -220,6 +233,7 @@ def run_specj_consolidation(
     footprint_guests: int = 3,
     host_ram_bytes: int = 6 * GiB,
     seed: int = 20130421,
+    faults=None,
 ) -> ConsolidationResult:
     """Fig. 8: SPECjEnterprise 2010 score at injection rate 15.
 
@@ -243,4 +257,5 @@ def run_specj_consolidation(
         footprint_scale,
         footprint_guests,
         seed,
+        faults=faults,
     )

@@ -23,6 +23,8 @@ from typing import List, Optional
 from repro.config import Benchmark
 from repro.core.accounting import OwnerAccounting
 from repro.core.breakdown import JavaBreakdown, VmBreakdown
+from repro.core.dump import CollectionReport, SystemDump
+from repro.core.validate import ValidationReport
 from repro.core.experiments.testbed import (
     GuestSpec,
     KvmTestbed,
@@ -32,6 +34,7 @@ from repro.core.experiments.testbed import (
     scale_workload,
 )
 from repro.core.preload import CacheDeployment
+from repro.faults.plan import FaultPlan
 from repro.ksm.stats import KsmStats
 from repro.units import GiB
 from repro.workloads.base import build_workload
@@ -49,6 +52,9 @@ class ScenarioResult:
     java_breakdown: JavaBreakdown
     accounting: OwnerAccounting
     ksm_stats: KsmStats
+    dump: Optional[SystemDump] = None
+    collection_report: Optional[CollectionReport] = None
+    validation_report: Optional[ValidationReport] = None
 
 
 def _guest_specs(scenario: str, scale: float) -> List[GuestSpec]:
@@ -82,11 +88,14 @@ def run_scenario(
     scale: float = 1.0,
     measurement_ticks: Optional[int] = None,
     seed: int = 20130421,
+    faults: Optional[FaultPlan] = None,
 ) -> ScenarioResult:
     """Build, run and analyse one breakdown scenario.
 
     ``scale`` < 1 shrinks every byte quantity proportionally (for tests);
-    the figures run at scale 1.0, the paper's actual sizes.
+    the figures run at scale 1.0, the paper's actual sizes.  With a
+    ``faults`` plan, collection runs in resilient mode and the result
+    carries the collection and validation reports.
     """
     specs = _guest_specs(scenario, scale)
     config = TestbedConfig(
@@ -106,7 +115,7 @@ def run_scenario(
     if measurement_ticks is not None:
         config.measurement_ticks = measurement_ticks
     testbed = KvmTestbed(specs, config)
-    result = testbed.measure()
+    result = testbed.measure(faults=faults)
     return ScenarioResult(
         scenario=scenario,
         deployment=deployment,
@@ -114,4 +123,7 @@ def run_scenario(
         java_breakdown=result.java_breakdown,
         accounting=result.accounting,
         ksm_stats=result.ksm_stats,
+        dump=result.dump,
+        collection_report=result.dump.collection,
+        validation_report=result.validation,
     )

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.config import JvmConfig, KsmSettings
 from repro.core.accounting import (
     OwnerAccounting,
+    apply_degradation,
     owner_oriented_accounting,
 )
 from repro.core.breakdown import (
@@ -32,6 +33,8 @@ from repro.core.breakdown import (
 )
 from repro.core.dump import SystemDump, collect_system_dump
 from repro.core.preload import CacheDeployment, CacheProvisioner
+from repro.core.validate import ValidationReport, validate_dump
+from repro.faults.plan import FaultPlan
 from repro.guestos.kernel import GuestKernel, KernelProfile
 from repro.guestos.pagecache import BackingFile
 from repro.hypervisor.kvm import KvmHost
@@ -83,6 +86,8 @@ class MeasurementResult:
     accounting: OwnerAccounting
     ksm_stats: KsmStats
     dump: SystemDump
+    #: Cross-layer validation (run when fault injection is active).
+    validation: Optional[ValidationReport] = None
 
 
 def scale_workload(workload: Workload, factor: float) -> Workload:
@@ -283,16 +288,31 @@ class KvmTestbed:
             self.host.ksm.run_for_ms(tick_ms)
         self._ran = True
 
-    def measure(self) -> MeasurementResult:
-        """Collect the dump and run the paper's analysis pipeline."""
+    def measure(
+        self, faults: Optional[FaultPlan] = None
+    ) -> MeasurementResult:
+        """Collect the dump and run the paper's analysis pipeline.
+
+        With a fault plan, collection is resilient (quarantined guests
+        are dropped, the run continues with the survivors), the dump is
+        validated, and the accounting carries explicit bounds for
+        whatever the damage made unattributable.
+        """
         if not self._ran:
             self.run()
-        dump = collect_system_dump(self.host, self.kernels)
+        dump = collect_system_dump(self.host, self.kernels, faults=faults)
         accounting = owner_oriented_accounting(dump)
+        validation = None
+        if faults is not None:
+            validation = validate_dump(dump)
+            apply_degradation(
+                accounting, dump, validation, dump.collection
+            )
         return MeasurementResult(
             vm_breakdown=vm_breakdown(accounting),
             java_breakdown=java_breakdown(accounting),
             accounting=accounting,
             ksm_stats=self.host.ksm.snapshot_stats(),
             dump=dump,
+            validation=validation,
         )

@@ -10,11 +10,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Sequence, Tuple
 
 from repro.core.breakdown import JavaBreakdown, VmBreakdown, VM_GROUPS
-from repro.core.categories import (
-    FIGURE_ORDER,
-    MemoryCategory,
-    WORK_GROUP,
-)
+from repro.core.categories import MemoryCategory, WORK_GROUP
 from repro.units import MiB
 
 
@@ -51,6 +47,34 @@ def render_vm_breakdown(breakdown: VmBreakdown, title: str) -> str:
         f"{fmt_mb(breakdown.total_usage()):>14}"
         f"{fmt_mb(breakdown.total_shared()):>12}"
     )
+    if breakdown.degraded:
+        lines.append("")
+        lines.append(
+            "DEGRADED DUMP: "
+            f"{fmt_mb(breakdown.total_unattributable()).strip()} MB "
+            f"{MemoryCategory.UNATTRIBUTABLE.display_name.lower()}"
+        )
+        for row in breakdown.rows:
+            if row.unattributable_bytes == 0:
+                continue
+            low, high = row.usage_bounds()
+            lines.append(
+                f"  {row.vm_name:<8} usage in "
+                f"[{fmt_mb(low).strip()}, {fmt_mb(high).strip()}] MB "
+                f"({fmt_mb(row.unattributable_bytes).strip()} MB "
+                "unattributable)"
+            )
+        if breakdown.unassigned_unattributable_bytes:
+            lines.append(
+                "  (unassigned) "
+                f"{fmt_mb(breakdown.unassigned_unattributable_bytes).strip()}"
+                " MB of collection skew not chargeable to any VM"
+            )
+        low, high = breakdown.total_usage_bounds()
+        lines.append(
+            f"  TOTAL    usage in "
+            f"[{fmt_mb(low).strip()}, {fmt_mb(high).strip()}] MB"
+        )
     return "\n".join(lines)
 
 
@@ -86,6 +110,20 @@ def render_java_breakdown(breakdown: JavaBreakdown, title: str) -> str:
             + f"{row.total_bytes() / MiB:12.1f}"
         )
     lines.append("(values are MB mapped; parentheses: MB shared with TPS)")
+    if breakdown.degraded:
+        lines.append(
+            "DEGRADED DUMP: "
+            f"{breakdown.total_unattributable() / MiB:.1f} MB "
+            f"{MemoryCategory.UNATTRIBUTABLE.display_name.lower()}"
+        )
+        for row in breakdown.rows:
+            if row.unattributable_bytes == 0:
+                continue
+            low, high = row.total_bounds()
+            lines.append(
+                f"  {row.vm_name}:pid{row.pid} total in "
+                f"[{low / MiB:.1f}, {high / MiB:.1f}] MB"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,174 @@
+"""The fault plan: which collection faults hit which guest.
+
+All randomness flows through :class:`repro.sim.rng.RngFactory` streams
+keyed by ``(purpose, fault-kind, vm-name)``, so decisions are independent
+of evaluation order and a plan built from the same seed and rates always
+injects byte-identical damage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional
+
+from repro.errors import FaultSpecError
+from repro.sim.rng import RngFactory
+
+#: Collection gives up on a guest after this many dump attempts.
+MAX_DUMP_ATTEMPTS = 3
+
+#: Deterministic backoff (simulated ms) before retry attempt 2, 3, …
+#: Bounded: the last value repeats if more retries were ever allowed.
+BACKOFF_SCHEDULE_MS = (10, 20)
+
+
+class FaultKind(enum.Enum):
+    """The injectable collection-fault classes.
+
+    The first six corrupt the *collected dump* (and must be caught by
+    :mod:`repro.core.validate`); the last two break the *collection
+    process* itself (and surface in the ``CollectionReport``).
+    """
+
+    TRUNCATED_GUEST_DUMP = "truncated-guest-dump"
+    DROPPED_MEMSLOT = "dropped-memslot"
+    OVERLAPPING_MEMSLOT = "overlapping-memslot"
+    CORRUPT_GUEST_PTE = "corrupt-guest-pte"
+    TORN_HOST_PTE = "torn-host-pte"
+    MISSING_FRAME_TOKEN = "missing-frame-token"
+    NON_DEBUG_KERNEL = "non-debug-kernel"
+    TRANSIENT_DUMP_FAILURE = "transient-dump-failure"
+
+
+#: Fault kinds that damage dump contents (versus the collection process).
+DUMP_FAULT_KINDS = (
+    FaultKind.TRUNCATED_GUEST_DUMP,
+    FaultKind.DROPPED_MEMSLOT,
+    FaultKind.OVERLAPPING_MEMSLOT,
+    FaultKind.CORRUPT_GUEST_PTE,
+    FaultKind.TORN_HOST_PTE,
+    FaultKind.MISSING_FRAME_TOKEN,
+)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-guest probability of each fault class."""
+
+    truncated_guest_dump: float = 0.25
+    dropped_memslot: float = 0.15
+    overlapping_memslot: float = 0.20
+    corrupt_guest_pte: float = 0.25
+    torn_host_pte: float = 0.25
+    missing_frame_token: float = 0.25
+    non_debug_kernel: float = 0.15
+    transient_dump_failure: float = 0.30
+
+    def rate_of(self, kind: FaultKind) -> float:
+        return getattr(self, kind.value.replace("-", "_"))
+
+    @classmethod
+    def uniform(cls, rate: float) -> "FaultRates":
+        if not 0.0 <= rate <= 1.0:
+            raise FaultSpecError(f"fault rate must be in [0, 1], got {rate}")
+        return cls(**{f.name: rate for f in fields(cls)})
+
+    @classmethod
+    def only(cls, kind: FaultKind, rate: float = 1.0) -> "FaultRates":
+        """Rates injecting exactly one fault class (for targeted tests)."""
+        values = {f.name: 0.0 for f in fields(cls)}
+        values[kind.value.replace("-", "_")] = rate
+        return cls(**values)
+
+
+DEFAULT_FAULT_RATES = FaultRates()
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the plan actually injected during a collection."""
+
+    kind: FaultKind
+    vm_name: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "kind": self.kind.value,
+            "vm_name": self.vm_name,
+            "detail": self.detail,
+        }
+
+
+class FaultPlan:
+    """Seeded decider for collection faults.
+
+    ``decide(vm_name)`` is a pure function of (seed, rates, vm name): the
+    same plan asked twice — or two plans built alike — answer alike.
+    """
+
+    def __init__(
+        self, seed: int, rates: Optional[FaultRates] = None
+    ) -> None:
+        self.seed = seed
+        self.rates = rates if rates is not None else DEFAULT_FAULT_RATES
+        self._rng = RngFactory(seed).derive("faults")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a ``SEED:RATE`` CLI spec, e.g. ``1337:0.25``.
+
+        ``RATE`` is optional (``1337`` alone uses the default rates).
+        """
+        seed_part, sep, rate_part = spec.partition(":")
+        try:
+            seed = int(seed_part)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad fault spec {spec!r}: seed must be an integer "
+                "(expected SEED or SEED:RATE)"
+            ) from None
+        if not sep:
+            return cls(seed)
+        try:
+            rate = float(rate_part)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad fault spec {spec!r}: rate must be a float "
+                "(expected SEED:RATE)"
+            ) from None
+        return cls(seed, FaultRates.uniform(rate))
+
+    # ------------------------------------------------------------------
+
+    def stream(self, *name):
+        """A named random stream scoped to this plan (order-independent)."""
+        return self._rng.stream(*name)
+
+    def decide(self, vm_name: str) -> List[FaultKind]:
+        """Which fault classes hit ``vm_name``, in enum definition order."""
+        selected = []
+        for kind in FaultKind:
+            rate = self.rates.rate_of(kind)
+            if rate <= 0.0:
+                continue
+            draw = self.stream("decide", kind.value, vm_name).random()
+            if draw < rate:
+                selected.append(kind)
+        return selected
+
+    def transient_failures(self, vm_name: str) -> int:
+        """How many consecutive dump attempts fail transiently.
+
+        Between 1 and :data:`MAX_DUMP_ATTEMPTS`; drawing the maximum
+        exhausts every retry and quarantines the guest.
+        """
+        stream = self.stream(
+            "transient-count", FaultKind.TRANSIENT_DUMP_FAILURE.value,
+            vm_name,
+        )
+        return stream.randrange(1, MAX_DUMP_ATTEMPTS + 1)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, rates={self.rates})"

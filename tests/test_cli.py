@@ -51,3 +51,48 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultsCli:
+    def test_bad_fault_spec_is_a_clean_error(self, capsys):
+        assert main(["fig2", "--faults", "bogus"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "bogus" in captured.err
+
+    def test_fig2_with_faults_prints_reports(self, capsys):
+        code = main([
+            "fig2", "--faults", "1337",
+            "--scale", "0.02", "--ticks", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Collection report" in out
+        assert "Validation report" in out
+
+    def test_doctor_clean(self, capsys):
+        code = main([
+            "doctor", "daytrader4", "--scale", "0.02", "--ticks", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "doctor: daytrader4" in out
+        assert "clean: all cross-layer invariants hold" in out
+
+    def test_doctor_with_faults(self, capsys):
+        code = main([
+            "doctor", "daytrader4", "--faults", "1337:0.5",
+            "--scale", "0.02", "--ticks", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Collection report" in out
+        assert "Validation report" in out
+        assert "breakdown under this dump" in out
+
+    def test_fig6_ignores_faults_with_a_note(self, capsys):
+        code = main(["fig6", "--faults", "1", "--scale", "0.02"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "ignored" in captured.err
+        assert "before sharing" in captured.out

@@ -3,6 +3,7 @@
 from repro.core.categories import (
     FIGURE_ORDER,
     MemoryCategory,
+    TABLE_IV_CATEGORIES,
     WORK_GROUP,
     categorize_tag,
     is_java_tag,
@@ -43,8 +44,14 @@ class TestCategorizeTag:
 
 
 class TestDisplay:
-    def test_figure_order_covers_all(self):
-        assert set(FIGURE_ORDER) == set(MemoryCategory)
+    def test_figure_order_covers_every_paper_category(self):
+        assert set(FIGURE_ORDER) == set(TABLE_IV_CATEGORIES)
+
+    def test_unattributable_is_the_only_extra_category(self):
+        """The enum is Table IV plus our degraded-dump bucket."""
+        extras = set(MemoryCategory) - set(TABLE_IV_CATEGORIES)
+        assert extras == {MemoryCategory.UNATTRIBUTABLE}
+        assert MemoryCategory.UNATTRIBUTABLE not in FIGURE_ORDER
 
     def test_work_group(self):
         assert MemoryCategory.JIT_WORK in WORK_GROUP

@@ -1,0 +1,124 @@
+"""Property tests for the cross-layer dump validator (§II.B checks).
+
+Three properties anchor the fault-injection framework:
+
+1. a clean dump — any seed, any guest count — validates with zero
+   findings;
+2. every injected fault class is detected under its expected finding
+   code, at the severity the code table assigns;
+3. collection under a fixed fault seed is fully deterministic: the
+   structured CollectionReport serializes byte-identically across runs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dump import collect_system_dump
+from repro.core.validate import (
+    EXPECTED_CODES_BY_FAULT,
+    SEVERITY_BY_CODE,
+    Severity,
+    validate_dump,
+)
+from repro.faults import FaultKind, FaultPlan, FaultRates
+
+from tests.test_faults import build_host
+
+SETTINGS = settings(max_examples=12, deadline=None)
+
+
+class TestCleanDumpsValidate:
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        guests=st.integers(min_value=1, max_value=4),
+    )
+    def test_zero_findings(self, seed, guests):
+        host, kernels = build_host(seed=seed, guests=guests)
+        dump = collect_system_dump(host, kernels)
+        report = validate_dump(dump)
+        assert report.findings == []
+        assert report.ok
+        assert report.worst is Severity.INFO
+
+    def test_render_mentions_clean(self):
+        host, kernels = build_host()
+        report = validate_dump(collect_system_dump(host, kernels))
+        assert "clean" in report.render()
+
+
+class TestEveryFaultClassDetected:
+    @SETTINGS
+    @given(
+        fault_seed=st.integers(min_value=0, max_value=2**32 - 1),
+        kind=st.sampled_from(sorted(
+            EXPECTED_CODES_BY_FAULT, key=lambda k: k.value
+        )),
+    )
+    def test_detected_with_expected_code_and_severity(
+        self, fault_seed, kind
+    ):
+        host, kernels = build_host()
+        plan = FaultPlan(fault_seed, rates=FaultRates.only(kind))
+        dump = collect_system_dump(host, kernels, faults=plan)
+        assert dump.collection.fault_kinds_injected() == [kind]
+        report = validate_dump(dump)
+        expected = EXPECTED_CODES_BY_FAULT[kind]
+        hits = [f for f in report.findings if f.code in expected]
+        assert hits, (
+            f"{kind.value}: none of {expected} in {report.codes()}"
+        )
+        for finding in hits:
+            assert finding.severity is SEVERITY_BY_CODE[finding.code]
+        # ``ok`` must mirror the worst surviving severity.
+        if any(f.severity >= Severity.ERROR for f in hits):
+            assert not report.ok
+        else:
+            assert report.worst >= Severity.WARNING
+
+    def test_quarantining_every_guest_is_fatal(self):
+        host, kernels = build_host()
+        plan = FaultPlan(
+            5, rates=FaultRates.only(FaultKind.NON_DEBUG_KERNEL)
+        )
+        dump = collect_system_dump(host, kernels, faults=plan)
+        report = validate_dump(dump)
+        assert report.worst is Severity.FATAL
+        assert "no-analyzable-guests" in report.codes()
+
+    def test_findings_sorted_worst_first(self):
+        host, kernels = build_host()
+        dump = collect_system_dump(host, kernels, faults=FaultPlan(1337))
+        report = validate_dump(dump)
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(severities, reverse=True)
+
+
+class TestDeterministicCollection:
+    @SETTINGS
+    @given(fault_seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_same_seed_byte_identical(self, fault_seed):
+        serialized = []
+        for _ in range(2):
+            host, kernels = build_host()
+            dump = collect_system_dump(
+                host, kernels, faults=FaultPlan(fault_seed)
+            )
+            serialized.append(dump.collection.to_json())
+        assert serialized[0] == serialized[1]
+
+    @SETTINGS
+    @given(fault_seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_same_seed_identical_validation(self, fault_seed):
+        codes = []
+        for _ in range(2):
+            host, kernels = build_host()
+            dump = collect_system_dump(
+                host, kernels, faults=FaultPlan(fault_seed)
+            )
+            report = validate_dump(dump)
+            codes.append(
+                [(f.severity, f.code, f.vm_name, f.pid, f.count)
+                 for f in report.findings]
+            )
+        assert codes[0] == codes[1]
