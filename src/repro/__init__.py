@@ -79,7 +79,7 @@ from repro.hypervisor.balloon import BalloonDriver, BalloonManager
 from repro.hypervisor.satori import SatoriRegistry
 from repro.jvm import JavaVM, SharedClassCache
 from repro.jvm.multitenant import MultiTenantJavaVM, TenantSpec
-from repro.ksm import KsmConfig, KsmScanner, KsmStats
+from repro.ksm import KsmConfig, KsmScanner, KsmStats, ScanPolicy
 from repro.mem.compression import CompressedRamStore
 from repro.workloads import Workload, build_workload
 
@@ -100,6 +100,7 @@ __all__ = [
     "KsmConfig",
     "KsmScanner",
     "KsmStats",
+    "ScanPolicy",
     "JavaVM",
     "SharedClassCache",
     "Workload",

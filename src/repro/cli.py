@@ -69,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     common.add_argument("--seed", type=int, default=20130421)
     common.add_argument(
+        "--scan-policy",
+        choices=["full", "incremental", "hybrid"],
+        default="full",
+        help=(
+            "KSM scan policy: 'full' round-robin (the paper's setup), "
+            "'incremental' dirty-log-driven, or 'hybrid' with periodic "
+            "full passes"
+        ),
+    )
+    common.add_argument(
         "--faults", metavar="SEED[:RATE]", default=None,
         help=(
             "inject collection faults from this seed (optional RATE in "
@@ -136,7 +146,7 @@ def _run_breakdown_figure(figure: str, args) -> None:
     result = run_scenario(
         scenario, deployment, scale=args.scale,
         measurement_ticks=args.ticks, seed=args.seed,
-        faults=_fault_plan(args),
+        faults=_fault_plan(args), scan_policy=args.scan_policy,
     )
     title = (
         f"{figure}: {scenario} ({deployment.value}), scale={args.scale}"
@@ -180,12 +190,14 @@ def _run_consolidation(figure: str, args) -> None:
     faults = _fault_plan(args)
     if figure == "fig7":
         result = run_daytrader_consolidation(
-            footprint_scale=args.scale, seed=args.seed, faults=faults
+            footprint_scale=args.scale, seed=args.seed, faults=faults,
+            scan_policy=args.scan_policy,
         )
         unit = "req/s"
     else:
         result = run_specj_consolidation(
-            footprint_scale=args.scale, seed=args.seed, faults=faults
+            footprint_scale=args.scale, seed=args.seed, faults=faults,
+            scan_policy=args.scan_policy,
         )
         unit = "EjOPS"
     print(render_series(
@@ -220,6 +232,7 @@ def _run_doctor(args) -> None:
         measurement_ticks=args.ticks,
         seed=args.seed,
         faults=faults,
+        scan_policy=args.scan_policy,
     )
     mode = "clean collection" if faults is None else f"faults {args.faults}"
     print(f"doctor: {args.name} ({args.deployment}), {mode}")
@@ -296,6 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 measurement_ticks=args.ticks,
                 seed=args.seed,
                 faults=_fault_plan(args),
+                scan_policy=args.scan_policy,
             )
             print(render_vm_breakdown(
                 result.vm_breakdown,

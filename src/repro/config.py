@@ -74,6 +74,9 @@ class KsmSettings:
     sleep_millisecs: int = 100
     warmup_pages_to_scan: int = 10000
     warmup_minutes: float = 3.0
+    #: Scan policy ("full", "incremental" or "hybrid"); "full" is the
+    #: paper's configuration, the others use PML-style dirty tracking.
+    scan_policy: str = "full"
 
 
 @dataclass(frozen=True)

@@ -66,12 +66,14 @@ def measure_footprint(
     measurement_ticks: int = 4,
     seed: int = 20130421,
     faults=None,
+    scan_policy: str = "full",
 ) -> Footprint:
     """Stage 1: measure R and S from a small page-level testbed.
 
     ``faults`` (a :class:`repro.faults.FaultPlan`) switches collection
     to resilient mode: quarantined guests drop out and R/S come from the
-    surviving VMs only.
+    surviving VMs only.  ``scan_policy`` selects the KSM scan policy
+    used during the footprint measurement.
     """
     scaled = scale_workload(workload, scale)
     specs = [
@@ -85,6 +87,7 @@ def measure_footprint(
         seed=seed,
         scale=scale,
     )
+    config.ksm = dataclasses.replace(config.ksm, scan_policy=scan_policy)
     if scale < 1.0:
         config.host_ram_bytes = max(
             int(config.host_ram_bytes * scale), 64 * MiB
@@ -163,6 +166,7 @@ def _sweep(
     footprint_guests: int,
     seed: int,
     faults=None,
+    scan_policy: str = "full",
 ) -> ConsolidationResult:
     result = ConsolidationResult(
         benchmark=workload.benchmark,
@@ -178,6 +182,7 @@ def _sweep(
             scale=footprint_scale,
             seed=seed,
             faults=faults,
+            scan_policy=scan_policy,
         )
         result.footprints[label] = footprint
         points = []
@@ -203,6 +208,7 @@ def run_daytrader_consolidation(
     host_ram_bytes: int = 6 * GiB,
     seed: int = 20130421,
     faults=None,
+    scan_policy: str = "full",
 ) -> ConsolidationResult:
     """Fig. 7: DayTrader throughput versus the number of guest VMs."""
     workload = build_workload(Benchmark.DAYTRADER)
@@ -224,6 +230,7 @@ def run_daytrader_consolidation(
         footprint_guests,
         seed,
         faults=faults,
+        scan_policy=scan_policy,
     )
 
 
@@ -234,6 +241,7 @@ def run_specj_consolidation(
     host_ram_bytes: int = 6 * GiB,
     seed: int = 20130421,
     faults=None,
+    scan_policy: str = "full",
 ) -> ConsolidationResult:
     """Fig. 8: SPECjEnterprise 2010 score at injection rate 15.
 
@@ -258,4 +266,5 @@ def run_specj_consolidation(
         footprint_guests,
         seed,
         faults=faults,
+        scan_policy=scan_policy,
     )

@@ -17,7 +17,7 @@ shared-copy cache deployment; the same driver serves the "before" and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 from repro.config import Benchmark
@@ -89,13 +89,16 @@ def run_scenario(
     measurement_ticks: Optional[int] = None,
     seed: int = 20130421,
     faults: Optional[FaultPlan] = None,
+    scan_policy: str = "full",
 ) -> ScenarioResult:
     """Build, run and analyse one breakdown scenario.
 
     ``scale`` < 1 shrinks every byte quantity proportionally (for tests);
     the figures run at scale 1.0, the paper's actual sizes.  With a
     ``faults`` plan, collection runs in resilient mode and the result
-    carries the collection and validation reports.
+    carries the collection and validation reports.  ``scan_policy``
+    selects the KSM scan policy ("full", the paper's configuration, or
+    the dirty-log-driven "incremental"/"hybrid").
     """
     specs = _guest_specs(scenario, scale)
     config = TestbedConfig(
@@ -104,6 +107,7 @@ def run_scenario(
         seed=seed,
         scale=scale,
     )
+    config.ksm = replace(config.ksm, scan_policy=scan_policy)
     if scale < 1.0:
         config.host_ram_bytes = max(
             int(config.host_ram_bytes * scale), 64 * 1024 * 1024

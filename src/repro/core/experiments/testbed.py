@@ -181,6 +181,7 @@ class KvmTestbed:
             ksm_config=KsmConfig(
                 pages_to_scan=cfg.ksm.pages_to_scan,
                 sleep_millisecs=cfg.ksm.sleep_millisecs,
+                scan_policy=cfg.ksm.scan_policy,
             ),
             seed=cfg.seed,
         )

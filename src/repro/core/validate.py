@@ -53,6 +53,8 @@ SEVERITY_BY_CODE: Dict[str, Severity] = {
     "frame-token-missing": Severity.WARNING,
     "refcount-mismatch": Severity.ERROR,
     "no-analyzable-guests": Severity.FATAL,
+    "ksm-volatility-leak": Severity.WARNING,
+    "ksm-duplicate-table-name": Severity.ERROR,
 }
 
 #: Which finding codes each dump-corrupting fault class must produce
@@ -318,5 +320,47 @@ def validate_dump(dump: SystemDump) -> ValidationReport:
     for guest in dump.guests:
         _validate_guest(report, guest)
     _validate_host(report, dump)
+    report.sort()
+    return report
+
+
+def validate_scanner(scanner) -> ValidationReport:
+    """Check the live KSM scanner's bookkeeping invariants.
+
+    Unlike :func:`validate_dump` this inspects the scanner itself, not a
+    collected dump:
+
+    * ``ksm-duplicate-table-name`` — two registered tables share a name
+      (their volatility histories would be indistinguishable in dumps);
+    * ``ksm-volatility-leak`` — the per-table vpn → last-token map holds
+      entries for vpns that are neither mapped nor pending in the dirty
+      log (the unbounded-growth leak the scanner prunes at pass ends).
+    """
+    report = ValidationReport()
+    names = Counter(table.name for table in scanner.registered_tables)
+    for name, occurrences in sorted(names.items()):
+        if occurrences > 1:
+            report.add(
+                "ksm-duplicate-table-name", name,
+                f"{occurrences} registered tables share the name {name!r}",
+                count=occurrences,
+            )
+    for table in scanner.registered_tables:
+        tracked = scanner.volatility_tracked(table)
+        if not tracked:
+            continue
+        pending = set(table.pending_dirty_vpns())
+        leaked = sum(
+            1
+            for vpn in tracked
+            if not table.is_mapped(vpn) and vpn not in pending
+        )
+        if leaked:
+            report.add(
+                "ksm-volatility-leak", table.name,
+                "volatility history tracks vpns that are no longer "
+                "mapped and not pending in the dirty log",
+                count=leaked,
+            )
     report.sort()
     return report

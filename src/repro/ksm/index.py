@@ -1,0 +1,113 @@
+"""The shared content-token index behind the KSM stable/unstable trees.
+
+The kernel keeps two red-black trees keyed by page content (memcmp order):
+the **stable tree** of merged, write-protected frames and the per-pass
+**unstable tree** of merge candidates.  This model keys both by the page's
+content *token*, so a single hash probe replaces the two tree descents:
+:meth:`TokenIndex.lookup` returns either the stable node or the unstable
+node for a token in O(1), and the scanner branches on which it got —
+stable hits merge immediately, unstable hits go through the staleness
+checks.
+
+The index maintains the tree invariant the scanner relies on: **a token
+has at most one node**, either stable or unstable, never both.  Promoting
+a token to stable (:meth:`set_stable`) atomically retires its unstable
+node; re-inserting an unstable candidate replaces the previous one (the
+scanner's stale-drop path).
+
+Stable and unstable tokens are tracked in side sets so that the ``FULL``
+policy's end-of-pass discard (:meth:`clear_unstable`) costs O(unstable)
+and stable-node iteration (the statistics gauges, recorded once per pass)
+costs O(stable) — never O(all tokens), which matters once the
+``INCREMENTAL`` policy keeps unstable candidates alive across passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.mem.address_space import PageTable
+
+#: Node tags: the first element of every node tuple.
+STABLE = "stable"
+UNSTABLE = "unstable"
+
+#: A node is ``(STABLE, fid)`` or ``(UNSTABLE, table, vpn)``.
+StableNode = Tuple[str, int]
+UnstableNode = Tuple[str, "PageTable", int]
+
+
+class TokenIndex:
+    """O(1) token → (stable | unstable) node index."""
+
+    __slots__ = ("_nodes", "_stable_tokens", "_unstable_tokens")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, tuple] = {}
+        self._stable_tokens: Set[int] = set()
+        self._unstable_tokens: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # The single shared probe
+    # ------------------------------------------------------------------
+
+    def lookup(self, token: int) -> Optional[tuple]:
+        """The node for ``token`` — ``(STABLE, fid)``,
+        ``(UNSTABLE, table, vpn)`` or None."""
+        return self._nodes.get(token)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def set_stable(self, token: int, fid: int) -> None:
+        """Install (or replace with) a stable node for ``token``."""
+        self._nodes[token] = (STABLE, fid)
+        self._unstable_tokens.discard(token)
+        self._stable_tokens.add(token)
+
+    def set_unstable(self, token: int, table: "PageTable", vpn: int) -> None:
+        """Install (or replace with) an unstable candidate for ``token``."""
+        self._nodes[token] = (UNSTABLE, table, vpn)
+        self._stable_tokens.discard(token)
+        self._unstable_tokens.add(token)
+
+    def drop(self, token: int) -> None:
+        """Remove whatever node ``token`` has (no-op when absent)."""
+        if self._nodes.pop(token, None) is not None:
+            self._stable_tokens.discard(token)
+            self._unstable_tokens.discard(token)
+
+    def clear_unstable(self) -> None:
+        """Discard every unstable node (the end-of-full-pass reset)."""
+        for token in self._unstable_tokens:
+            del self._nodes[token]
+        self._unstable_tokens.clear()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stable_count(self) -> int:
+        return len(self._stable_tokens)
+
+    @property
+    def unstable_count(self) -> int:
+        return len(self._unstable_tokens)
+
+    def stable_items(self) -> List[Tuple[int, int]]:
+        """All (token, fid) stable nodes, as a list safe to mutate over."""
+        return [
+            (token, self._nodes[token][1]) for token in self._stable_tokens
+        ]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenIndex(stable={self.stable_count}, "
+            f"unstable={self.unstable_count})"
+        )

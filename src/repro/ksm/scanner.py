@@ -20,33 +20,78 @@ and used by the paper as the KVM transparent-page-sharing engine:
   which is one of the two mechanisms behind the paper's "TPS is ineffective
   for Java" finding (the other being layout variance).
 
-* Stable candidates are looked up in the per-pass **unstable tree**; a hit
-  creates a new stable node and merges both pages into it.  The unstable
-  tree is discarded after every full pass.
+* Stable candidates are looked up in the **unstable tree**; a hit creates
+  a new stable node and merges both pages into it.  Both trees share one
+  O(1) content-token index (:mod:`repro.ksm.index`).
 
 Merged frames are write-protected: any write triggers a copy-on-write break
 (handled in :class:`repro.mem.physmem.HostPhysicalMemory`), after which the
 page is private again and must re-earn merging.
 
+Scan policies
+-------------
+
+What the scanner walks each pass is governed by :class:`ScanPolicy`:
+
+* ``FULL`` — the classic KSM round-robin over every mapped page of every
+  registered table, byte-identical (stats, history, merge results) to the
+  original scanner.  Per-table worklists are pre-sorted once and reused
+  across passes while the table's mapping set is unchanged (a persistent
+  cursor), instead of being re-``sorted()`` on every visit.  The unstable
+  tree is discarded after each pass, as in the kernel.
+
+* ``INCREMENTAL`` — dirty-log-driven, mirroring Intel PML-style hardware
+  dirty tracking: only pages whose vpn appears in the table's dirty log
+  (fresh maps, stores, COW breaks, unmaps) are examined, plus a
+  *recheck* set holding pages that still owe the volatility filter their
+  second, unchanged sighting.  Unstable-tree entries persist across
+  passes (quiescent candidates wait for a partner indefinitely; the
+  stale-drop path evicts rewritten ones) so that two identical pages
+  dirtied in different passes still meet.
+
+* ``HYBRID`` — incremental passes with a periodic full pass (every
+  ``hybrid_full_interval``-th) to catch pages whose writes bypassed the
+  log (content mutated behind the page table, torn state, etc.).
+
+All policies converge to the same ``pages_saved`` fixpoint on quiescent
+memory; the incremental policies get there examining a small fraction of
+the pages (the scan-policy ablation measures the ratio).
+
 The scanner charges simulated CPU time per page examined; the constant is
 calibrated so that the paper's settings reproduce its reported scanner
 overheads (≈25 % CPU at 10 000 pages/100 ms, ≈2 % at 1 000 pages/100 ms).
+Dirty-log draining charges a far smaller per-entry cost (see
+:mod:`repro.perf.scancost`); under ``FULL`` nothing is drained and the
+charge is exactly the historical calibration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.ksm.index import STABLE, TokenIndex
+from repro.ksm.stats import KsmStats
 from repro.mem.address_space import PageTable
 from repro.mem.physmem import HostPhysicalMemory
-from repro.ksm.stats import KsmStats
+from repro.perf.scancost import (
+    DEFAULT_COST_US_PER_PAGE,
+    DEFAULT_DIRTY_LOG_COST_US,
+    scan_cost_ms,
+)
 from repro.sim.clock import SimClock
 
-#: Calibrated per-page scan cost: 3.2 µs/page gives 24 % CPU at
-#: 10 000 pages per 100 ms cycle and 3 % at 1 000 pages — matching the
-#: "about 25 %" and "about 2 %" reported in §II.C of the paper.
-DEFAULT_COST_US_PER_PAGE = 3.2
+
+class ScanPolicy(enum.Enum):
+    """How the scanner chooses which pages to examine each pass."""
+
+    #: Round-robin over every mapped page (the classic KSM behaviour).
+    FULL = "full"
+    #: Only pages reported by the per-table dirty logs (PML-style).
+    INCREMENTAL = "incremental"
+    #: Incremental, with a periodic full pass as a safety net.
+    HYBRID = "hybrid"
 
 
 @dataclass
@@ -56,12 +101,25 @@ class KsmConfig:
     pages_to_scan: int = 1000
     sleep_millisecs: int = 100
     cost_us_per_page: float = DEFAULT_COST_US_PER_PAGE
+    #: Which pages each pass examines; accepts a ScanPolicy or its value
+    #: string ("full", "incremental", "hybrid").
+    scan_policy: ScanPolicy = ScanPolicy.FULL
+    #: Simulated cost of consuming one dirty-log entry (µs).
+    dirty_log_cost_us: float = DEFAULT_DIRTY_LOG_COST_US
+    #: Under HYBRID, every Nth pass is a full pass (1 = always full).
+    hybrid_full_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.pages_to_scan <= 0:
             raise ValueError("pages_to_scan must be positive")
         if self.sleep_millisecs <= 0:
             raise ValueError("sleep_millisecs must be positive")
+        if not isinstance(self.scan_policy, ScanPolicy):
+            self.scan_policy = ScanPolicy(self.scan_policy)
+        if self.dirty_log_cost_us < 0:
+            raise ValueError("dirty_log_cost_us must be non-negative")
+        if self.hybrid_full_interval < 1:
+            raise ValueError("hybrid_full_interval must be >= 1")
 
 
 class KsmScanner:
@@ -77,20 +135,30 @@ class KsmScanner:
         self.clock = clock
         self.config = config or KsmConfig()
         self._tables: List[PageTable] = []
-        # token -> stable frame id
-        self._stable: Dict[int, int] = {}
-        # token -> (table, vpn) seen earlier in the current pass
-        self._unstable: Dict[int, Tuple[PageTable, int]] = {}
-        # per-table: vpn -> token at the previous examination
-        self._last_tokens: Dict[str, Dict[int, int]] = {}
+        # The shared stable/unstable content-token index.
+        self._index = TokenIndex()
+        # per-table (by identity): vpn -> token at the previous examination
+        self._last_tokens: Dict[PageTable, Dict[int, int]] = {}
         self.stats = KsmStats()
-        #: One sample per completed full scan: (sim time ms, pages_shared,
+        #: One sample per completed scan pass: (sim time ms, pages_shared,
         #: pages_sharing).  Lets callers plot convergence over time.
         self.history: List[Tuple[int, int, int]] = []
-        # Walk state: index into tables and the per-table vpn worklist.
+        # Walk state: index into tables plus a persistent cursor into the
+        # current table's worklist (ascending vpn order).
         self._table_cursor = 0
-        self._vpn_worklist: List[int] = []
+        self._scan_list: List[int] = []
+        self._scan_pos = 0
         self._started_pass = False
+        # FULL-pass worklist cache: table -> (table.version, sorted vpns).
+        self._full_cache: Dict[PageTable, Tuple[int, List[int]]] = {}
+        # INCREMENTAL: pages owing the volatility filter a second look.
+        self._recheck: Dict[PageTable, Set[int]] = {}
+        # Pass bookkeeping: pages examined in the pass in progress, the
+        # number of completed (non-silent) passes, and whether the pass
+        # in progress walks everything or just the dirty logs.
+        self._pass_examined = 0
+        self._passes_done = 0
+        self._current_pass_full = True
 
     # ------------------------------------------------------------------
     # Registration
@@ -100,19 +168,36 @@ class KsmScanner:
         """Mark every current and future page of ``table`` as mergeable."""
         if any(existing is table for existing in self._tables):
             raise ValueError(f"table {table.name!r} is already registered")
+        if any(existing.name == table.name for existing in self._tables):
+            raise ValueError(
+                f"a different table named {table.name!r} is already "
+                "registered; KSM bookkeeping requires unique table names"
+            )
         self._tables.append(table)
-        self._last_tokens.setdefault(table.name, {})
+        self._last_tokens[table] = {}
+        self._recheck[table] = set()
 
     def unregister(self, table: PageTable) -> None:
         """Stop scanning ``table`` (existing merges stay in place)."""
         for index, existing in enumerate(self._tables):
             if existing is table:
                 del self._tables[index]
-                self._last_tokens.pop(table.name, None)
+                self._last_tokens.pop(table, None)
+                self._recheck.pop(table, None)
+                self._full_cache.pop(table, None)
                 if index < self._table_cursor:
                     self._table_cursor -= 1
                 elif index == self._table_cursor:
-                    self._vpn_worklist = []
+                    # The table being scanned is gone: drop its worklist
+                    # and step the cursor back so the table that shifted
+                    # into this slot is still visited this pass (the
+                    # cursor may legitimately rest at -1; _advance_table
+                    # pre-increments).  Without this, the next advance
+                    # skipped the shifted table and could count a pass
+                    # boundary that never happened.
+                    self._scan_list = []
+                    self._scan_pos = 0
+                    self._table_cursor -= 1
                 return
         raise ValueError(f"table {table.name!r} is not registered")
 
@@ -129,47 +214,148 @@ class KsmScanner:
         if budget <= 0 or not self._tables:
             return 0
         examined = 0
-        # Guard against spinning forever when every table is empty.
+        # Guard against spinning forever when no table yields work.
         empty_rounds = 0
         while examined < budget:
-            if not self._vpn_worklist:
+            if self._scan_pos >= len(self._scan_list):
                 if not self._advance_table():
                     empty_rounds += 1
                     if empty_rounds > len(self._tables) + 1:
                         break
                     continue
                 empty_rounds = 0
-            vpn = self._vpn_worklist.pop()
+            vpn = self._scan_list[self._scan_pos]
+            self._scan_pos += 1
             table = self._tables[self._table_cursor]
             self._examine(table, vpn)
             examined += 1
+            self._pass_examined += 1
         self.stats.pages_scanned += examined
         return examined
 
     def _advance_table(self) -> bool:
-        """Move to the next table with mapped pages; handle pass ends.
+        """Move to the next table's worklist; handle pass ends.
 
         Returns True when a non-empty worklist was installed.
         """
         if not self._started_pass:
             self._started_pass = True
             self._table_cursor = 0
+            self._begin_pass()
         else:
             self._table_cursor += 1
             if self._table_cursor >= len(self._tables):
-                # Completed a full pass over all registered memory.
+                # Wrapped around the table list.
                 self._table_cursor = 0
-                self.stats.full_scans += 1
-                self._unstable.clear()
-                self._record_history()
+                self._complete_pass()
+                self._begin_pass()
         if self._table_cursor >= len(self._tables):
             return False
         table = self._tables[self._table_cursor]
-        # Reverse-sorted so .pop() walks in ascending address order.
-        self._vpn_worklist = sorted(
-            (vpn for vpn, _ in table.entries()), reverse=True
-        )
-        return bool(self._vpn_worklist)
+        if self._current_pass_full:
+            self._install_full_worklist(table)
+        else:
+            self._install_incremental_worklist(table)
+        return self._scan_pos < len(self._scan_list)
+
+    def _begin_pass(self) -> None:
+        """Decide whether the pass now starting walks everything."""
+        policy = self.config.scan_policy
+        if policy is ScanPolicy.FULL:
+            self._current_pass_full = True
+        elif policy is ScanPolicy.INCREMENTAL:
+            self._current_pass_full = False
+        else:  # HYBRID
+            interval = self.config.hybrid_full_interval
+            self._current_pass_full = self._passes_done % interval == 0
+
+    def _complete_pass(self) -> None:
+        """End-of-pass bookkeeping (only for passes that examined pages).
+
+        A wrap of the table cursor that examined nothing — every table
+        empty, or no dirty log entries under INCREMENTAL — is *silent*:
+        it records no pass, no history sample, and costs no CPU, so an
+        idle configuration no longer inflates ``full_scans``.
+        """
+        if self._pass_examined == 0:
+            return
+        self._pass_examined = 0
+        self._passes_done += 1
+        self.stats.full_scans += 1
+        if self.config.scan_policy is ScanPolicy.FULL:
+            # Per-pass unstable-tree discard (kernel behaviour).  The
+            # incremental policies — including HYBRID's periodic full
+            # passes — keep candidates alive so quiescent pages dirtied
+            # in different passes can still meet.
+            self._index.clear_unstable()
+        if self._current_pass_full:
+            self._prune_last_tokens()
+        self._record_history()
+
+    def _install_full_worklist(self, table: PageTable) -> None:
+        """Every mapped vpn, ascending — cached while the mapping set
+        is unchanged, so an undisturbed table is never re-sorted."""
+        version = table.version
+        cached = self._full_cache.get(table)
+        if cached is None or cached[0] != version:
+            vpns = sorted(vpn for vpn, _ in table.entries())
+            self._full_cache[table] = (version, vpns)
+        else:
+            vpns = cached[1]
+        # A full pass subsumes whatever the dirty log holds; discard it
+        # so the log stays bounded even when no incremental pass runs.
+        table.clear_dirty()
+        # The full walk also supersedes any pending rechecks.
+        recheck = self._recheck.get(table)
+        if recheck:
+            recheck.clear()
+        self._scan_list = vpns
+        self._scan_pos = 0
+
+    def _install_incremental_worklist(self, table: PageTable) -> None:
+        """Dirty-logged vpns plus pending rechecks, ascending.
+
+        Draining the log also prunes bookkeeping for vpns that were
+        unmapped: their volatility history is dropped and any unstable
+        node still pointing at the dead mapping is retired.
+        """
+        due: Set[int] = set()
+        drained = table.drain_dirty()
+        if drained:
+            self.stats.dirty_log_drained += len(drained)
+        last = self._last_tokens[table]
+        for vpn in drained:
+            if table.is_mapped(vpn):
+                due.add(vpn)
+                continue
+            previous = last.pop(vpn, None)
+            if previous is None:
+                continue
+            node = self._index.lookup(previous)
+            if (
+                node is not None
+                and node[0] != STABLE
+                and node[1] is table
+                and node[2] == vpn
+            ):
+                self._index.drop(previous)
+        recheck = self._recheck[table]
+        if recheck:
+            due.update(vpn for vpn in recheck if table.is_mapped(vpn))
+            recheck.clear()
+        self._scan_list = sorted(due)
+        self._scan_pos = 0
+
+    def _prune_last_tokens(self) -> None:
+        """Drop volatility history for vpns no longer mapped (full-pass
+        end); the incremental path prunes via the dirty log instead."""
+        for table in self._tables:
+            last = self._last_tokens.get(table)
+            if not last:
+                continue
+            dead = [vpn for vpn in last if not table.is_mapped(vpn)]
+            for vpn in dead:
+                del last[vpn]
 
     def _examine(self, table: PageTable, vpn: int) -> None:
         """Run the KSM state machine on one candidate page."""
@@ -181,90 +367,107 @@ class KsmScanner:
             return  # already merged
         token = frame.token
 
-        # Stable-tree lookup first: merging with existing stable pages does
+        # One probe of the shared token index serves both trees.
+        node = self._index.lookup(token)
+
+        # Stable-tree half first: merging with existing stable pages does
         # not require the volatility check (matches kernel behaviour).
-        stable_fid = self._lookup_stable(token)
-        if stable_fid is not None and stable_fid != fid:
-            self.physmem.merge_into(table, vpn, stable_fid)
-            self.stats.merges += 1
-            return
+        if node is not None and node[0] == STABLE:
+            stable_fid = node[1]
+            stable_frame = self.physmem.frame(stable_fid)
+            if (
+                stable_frame is None
+                or stable_frame.token != token
+                or not stable_frame.ksm_stable
+            ):
+                # Dead stable node: prune and fall through as a miss.
+                self._index.drop(token)
+                node = None
+            elif stable_fid != fid:
+                self.physmem.merge_into(table, vpn, stable_fid)
+                self.stats.merges += 1
+                return
+            else:
+                return  # this frame *is* the stable node
 
         # Volatility filter: the content must be unchanged since the last
         # time this page was examined.
-        last = self._last_tokens[table.name]
+        last = self._last_tokens[table]
         previous = last.get(vpn)
         last[vpn] = token
         if previous != token:
             self.stats.volatile_skips += 1
+            if self.config.scan_policy is not ScanPolicy.FULL:
+                # The dirty log will not resubmit an unchanging page, so
+                # schedule the second sighting explicitly.
+                self._recheck[table].add(vpn)
             return
 
-        # Unstable-tree lookup.
-        partner = self._unstable.get(token)
-        if partner is None:
-            self._unstable[token] = (table, vpn)
+        # Unstable-tree half (node is None or an unstable candidate).
+        if node is None:
+            self._index.set_unstable(token, table, vpn)
             return
-        partner_table, partner_vpn = partner
+        _, partner_table, partner_vpn = node
         if partner_table is table and partner_vpn == vpn:
             return
         partner_fid = partner_table.translate(partner_vpn)
         if partner_fid is None:
             # Partner page was unmapped; take its slot.
             self.stats.stale_drops += 1
-            self._unstable[token] = (table, vpn)
+            self._index.set_unstable(token, table, vpn)
             return
         partner_frame = self.physmem.get_frame(partner_fid)
         if partner_frame.token != token:
             # Partner was rewritten since insertion; replace it.
             self.stats.stale_drops += 1
-            self._unstable[token] = (table, vpn)
+            self._index.set_unstable(token, table, vpn)
             return
         if partner_fid == fid:
             # Same guest-shared frame reached through two mappings; nothing
             # to merge at the host level, but promote it to stable so later
             # candidates can join it.
             frame.ksm_stable = True
-            self._stable[token] = fid
-            del self._unstable[token]
+            self._index.set_stable(token, fid)
             return
 
         # Merge: promote the partner's frame to stable, fold this page in.
         partner_frame.ksm_stable = True
-        self._stable[token] = partner_fid
-        del self._unstable[token]
+        self._index.set_stable(token, partner_fid)
         self.physmem.merge_into(table, vpn, partner_fid)
         self.stats.merges += 1
 
     def _record_history(self) -> None:
         shared = 0
         sharing = 0
-        for fid in self._stable.values():
+        for _token, fid in self._index.stable_items():
             frame = self.physmem.frame(fid)
             if frame is not None and frame.ksm_stable:
                 shared += 1
                 sharing += frame.refcount
         self.history.append((self.clock.now_ms, shared, sharing))
 
-    def _lookup_stable(self, token: int) -> Optional[int]:
-        """Find a live stable frame for ``token``; prunes dead nodes."""
-        fid = self._stable.get(token)
-        if fid is None:
-            return None
-        frame = self.physmem.frame(fid)
-        if frame is None or frame.token != token or not frame.ksm_stable:
-            del self._stable[token]
-            return None
-        return fid
-
     # ------------------------------------------------------------------
     # Time-based driving
     # ------------------------------------------------------------------
 
+    def _charged_scan_ms(self, budget: int) -> Tuple[int, float]:
+        """Scan up to ``budget`` pages and price the burst."""
+        drained_before = self.stats.dirty_log_drained
+        examined = self.scan_pages(budget)
+        drained = self.stats.dirty_log_drained - drained_before
+        return examined, scan_cost_ms(
+            examined,
+            drained,
+            self.config.cost_us_per_page,
+            self.config.dirty_log_cost_us,
+        )
+
     def run_cycles(self, cycles: int) -> None:
         """Run ``cycles`` wake/sleep cycles, advancing the clock."""
-        cost_ms_per_page = self.config.cost_us_per_page / 1000.0
         for _ in range(cycles):
-            examined = self.scan_pages(self.config.pages_to_scan)
-            scan_ms = examined * cost_ms_per_page
+            _examined, scan_ms = self._charged_scan_ms(
+                self.config.pages_to_scan
+            )
             self.stats.cpu_ms += scan_ms
             advance = self.config.sleep_millisecs + int(scan_ms)
             self.clock.advance(advance)
@@ -303,23 +506,25 @@ class KsmScanner:
         return self.snapshot_stats()
 
     def _run_one_full_pass(self) -> None:
-        """Scan until ``full_scans`` increments (or memory is empty)."""
+        """Scan until ``full_scans`` increments (or there is no work)."""
         target = self.stats.full_scans + 1
         total_pages = sum(len(table) for table in self._tables)
         if total_pages == 0:
             return
-        cost_ms_per_page = self.config.cost_us_per_page / 1000.0
         # Generous budget: a full pass plus slack for mid-pass remappings.
         budget = total_pages * 2 + 16
         while self.stats.full_scans < target and budget > 0:
             step = min(self.config.pages_to_scan, budget)
-            examined = self.scan_pages(step)
-            scan_ms = examined * cost_ms_per_page
+            examined, scan_ms = self._charged_scan_ms(step)
             self.stats.cpu_ms += scan_ms
             advance = self.config.sleep_millisecs + int(scan_ms)
             self.clock.advance(advance)
             self.stats.elapsed_ms += advance
             budget -= step
+            if examined == 0 and self.stats.full_scans < target:
+                # Nothing to examine (idle dirty logs / empty tables):
+                # no pass will ever complete, so stop burning cycles.
+                break
 
     # ------------------------------------------------------------------
     # Statistics
@@ -330,7 +535,7 @@ class KsmScanner:
         shared = 0
         sharing = 0
         dead_tokens = []
-        for token, fid in self._stable.items():
+        for token, fid in self._index.stable_items():
             frame = self.physmem.frame(fid)
             if frame is None or not frame.ksm_stable:
                 dead_tokens.append(token)
@@ -338,7 +543,7 @@ class KsmScanner:
             shared += 1
             sharing += frame.refcount
         for token in dead_tokens:
-            del self._stable[token]
+            self._index.drop(token)
         self.stats.pages_shared = shared
         self.stats.pages_sharing = sharing
         return KsmStats(
@@ -349,6 +554,7 @@ class KsmScanner:
             merges=self.stats.merges,
             volatile_skips=self.stats.volatile_skips,
             stale_drops=self.stats.stale_drops,
+            dirty_log_drained=self.stats.dirty_log_drained,
             cpu_ms=self.stats.cpu_ms,
             elapsed_ms=self.stats.elapsed_ms,
         )
@@ -358,3 +564,16 @@ class KsmScanner:
         """Bytes of host physical memory currently saved by merging."""
         stats = self.snapshot_stats()
         return stats.pages_saved * self.physmem.page_size
+
+    # ------------------------------------------------------------------
+    # Bookkeeping introspection (used by repro.core.validate and tests)
+    # ------------------------------------------------------------------
+
+    def volatility_tracked(self, table: PageTable) -> Dict[int, int]:
+        """Copy of the vpn → last-seen-token map kept for ``table``."""
+        return dict(self._last_tokens.get(table, {}))
+
+    @property
+    def unstable_candidates(self) -> int:
+        """Live unstable-tree nodes (persistent under INCREMENTAL)."""
+        return self._index.unstable_count

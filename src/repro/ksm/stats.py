@@ -20,6 +20,8 @@ class KsmStats:
     * ``volatile_skips``: pages skipped because their content changed
       between two scans (the checksum-stability requirement).
     * ``stale_drops``: unstable-tree entries found already rewritten.
+    * ``dirty_log_drained``: dirty-log entries consumed by the
+      incremental scan policies (0 under ``ScanPolicy.FULL``).
     * ``cpu_ms``: simulated CPU time spent scanning.
     """
 
@@ -30,6 +32,7 @@ class KsmStats:
     merges: int = 0
     volatile_skips: int = 0
     stale_drops: int = 0
+    dirty_log_drained: int = 0
     cpu_ms: float = 0.0
     elapsed_ms: int = 0
     extra: dict = field(default_factory=dict)

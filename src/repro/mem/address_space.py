@@ -13,11 +13,20 @@ physical page number.  It is used at every translation layer of the stack:
 
 Unmapped pages simply have no entry; the paper's methodology explicitly
 handles pages "not mapped to host physical memory".
+
+Each table also keeps a **dirty-vpn log** — the software analogue of
+Intel's Page-Modification Logging (PML): every event that can change the
+content visible through a vpn (a fresh mapping, an in-place store, a
+copy-on-write break, an unmap) appends the vpn to the log.  The KSM
+scanner's ``INCREMENTAL`` policy drains the log instead of rescanning the
+whole table, exactly the lever hardware-assisted dirty tracking provides.
+The log is a vpn *set* (insertion-ordered, deduplicated), so its size is
+bounded by the number of distinct pages touched since the last drain.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class PageTable:
@@ -27,11 +36,17 @@ class PageTable:
     ``"host:qemu-vm1"`` or ``"vm1:pid42"``.
     """
 
-    __slots__ = ("name", "_entries")
+    __slots__ = ("name", "_entries", "_dirty", "_version")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._entries: Dict[int, int] = {}
+        # Dirty-vpn log (dict used as an insertion-ordered set) and a
+        # mapping-set version, bumped whenever the *set* of mapped vpns
+        # changes.  The scanner uses the version to reuse cached,
+        # pre-sorted worklists across passes.
+        self._dirty: Dict[int, None] = {}
+        self._version = 0
 
     def map(self, vpn: int, pfn: int) -> None:
         """Install a translation; the slot must currently be empty."""
@@ -41,9 +56,17 @@ class PageTable:
                 f"(to pfn {self._entries[vpn]:#x})"
             )
         self._entries[vpn] = pfn
+        self._version += 1
+        self._dirty[vpn] = None
 
     def remap(self, vpn: int, pfn: int) -> int:
-        """Replace an existing translation; returns the previous pfn."""
+        """Replace an existing translation; returns the previous pfn.
+
+        Remapping alone does not log the vpn dirty: KSM merges re-point
+        pages *without* changing their content.  Content-changing remaps
+        (copy-on-write breaks) are logged by the caller,
+        :meth:`repro.mem.physmem.HostPhysicalMemory.write_token`.
+        """
         try:
             previous = self._entries[vpn]
         except KeyError:
@@ -54,9 +77,12 @@ class PageTable:
     def unmap(self, vpn: int) -> int:
         """Remove a translation; returns the pfn it pointed to."""
         try:
-            return self._entries.pop(vpn)
+            pfn = self._entries.pop(vpn)
         except KeyError:
             raise KeyError(f"{self.name}: vpn {vpn:#x} is not mapped") from None
+        self._version += 1
+        self._dirty[vpn] = None
+        return pfn
 
     def translate(self, vpn: int) -> Optional[int]:
         """Return the pfn for ``vpn``, or None when unmapped."""
@@ -78,6 +104,38 @@ class PageTable:
     def snapshot(self) -> Dict[int, int]:
         """A copy of the raw mapping (used when collecting dumps)."""
         return dict(self._entries)
+
+    # ------------------------------------------------------------------
+    # Dirty-page tracking (the PML-style write-notification log)
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Bumped whenever the set of mapped vpns changes."""
+        return self._version
+
+    def log_dirty(self, vpn: int) -> None:
+        """Record that the content visible at ``vpn`` may have changed."""
+        self._dirty[vpn] = None
+
+    @property
+    def dirty_count(self) -> int:
+        """Number of vpns currently pending in the dirty log."""
+        return len(self._dirty)
+
+    def pending_dirty_vpns(self) -> Tuple[int, ...]:
+        """The logged vpns, in logging order, without draining them."""
+        return tuple(self._dirty)
+
+    def drain_dirty(self) -> List[int]:
+        """Return the logged vpns (in logging order) and clear the log."""
+        drained = list(self._dirty)
+        self._dirty.clear()
+        return drained
+
+    def clear_dirty(self) -> None:
+        """Discard the log (a full scan subsumes the pending entries)."""
+        self._dirty.clear()
 
     def __repr__(self) -> str:
         return f"PageTable({self.name!r}, entries={len(self._entries)})"

@@ -114,6 +114,10 @@ class HostPhysicalMemory:
         KSM-stable frame allocates a private copy (the COW break KSM relies
         on); a write to an exclusively owned, non-stable frame mutates the
         frame in place.
+
+        Both paths log the vpn into the table's dirty log — the in-place
+        store plays the role of a PML write notification, the COW break
+        that of the write-protect fault on a merged frame.
         """
         fid = table.translate(vpn)
         if fid is None:
@@ -121,11 +125,13 @@ class HostPhysicalMemory:
         frame = self.get_frame(fid)
         if frame.refcount == 1 and not frame.ksm_stable:
             frame.token = token
+            table.log_dirty(vpn)
             return fid
         self._cow_breaks += 1
         self.dec_ref(fid)
         new_fid = self.alloc(token)
         table.remap(vpn, new_fid)
+        table.log_dirty(vpn)
         return new_fid
 
     def unmap(self, table: PageTable, vpn: int) -> None:
@@ -144,6 +150,10 @@ class HostPhysicalMemory:
         Used by the KSM scanner after verifying content equality.  Returns
         the frame id the page previously used.  Raises if the contents
         differ — merging unequal pages would corrupt guest memory.
+
+        Deliberately does *not* log the vpn dirty: a merge re-points the
+        mapping without changing the visible content, so the scanner's
+        own work must not re-enter its dirty-log worklist.
         """
         old_fid = table.translate(vpn)
         if old_fid is None:

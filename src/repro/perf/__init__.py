@@ -1,9 +1,15 @@
 """Host paging and throughput models for the consolidation experiments."""
 
 from repro.perf.paging import PagingModel
+from repro.perf.scancost import scan_cost_ms
 from repro.perf.throughput import (
     DayTraderThroughputModel,
     SpecjScoreModel,
 )
 
-__all__ = ["PagingModel", "DayTraderThroughputModel", "SpecjScoreModel"]
+__all__ = [
+    "PagingModel",
+    "DayTraderThroughputModel",
+    "SpecjScoreModel",
+    "scan_cost_ms",
+]

@@ -1,0 +1,180 @@
+"""Regression tests for the scanner bookkeeping bugs.
+
+Each test pins one of the four fixed defects:
+
+1. Unregistering the table currently being scanned left the table cursor
+   pointing at (or past) the end of the table list — skipping the table
+   that shifted into its slot and mis-counting the pass boundary.
+2. Volatility history was keyed by ``table.name``, so two tables with the
+   same name silently corrupted each other's history.
+3. ``_last_tokens`` entries for unmapped vpns were never pruned.
+4. Wrapping the (empty) table list incremented ``full_scans`` and
+   recorded history samples even though nothing was ever examined.
+"""
+
+import pytest
+
+from repro.core.validate import validate_scanner
+from repro.ksm.scanner import KsmConfig, KsmScanner
+from repro.mem.address_space import PageTable
+from repro.mem.physmem import HostPhysicalMemory
+from repro.sim.clock import SimClock
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def make_scanner(**kwargs):
+    pm = HostPhysicalMemory(64 * MiB, PAGE)
+    scanner = KsmScanner(pm, SimClock(), KsmConfig(**kwargs))
+    return pm, scanner
+
+
+class TestUnregisterCurrentTable:
+    def test_shifted_table_still_scanned_same_pass(self):
+        """Unregister the in-progress table; its successor — holding a
+        merge partner — must still be visited before the pass ends."""
+        pm, scanner = make_scanner()
+        a, b, c = PageTable("a"), PageTable("b"), PageTable("c")
+        for table in (a, b, c):
+            scanner.register(table)
+        # a:0 and c:0 hold the same stable content; b is the table we
+        # drop while it is being scanned.
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 77)
+        pm.map_token(c, 0, 5)
+        # Pass 1 records first sightings for the volatility filter.
+        assert scanner.scan_pages(3) == 3
+        # Pass 2: examine a:0 (unstable insert), then b:0 — the cursor
+        # now rests on b — and unregister b.  c shifts into b's slot.
+        assert scanner.scan_pages(1) == 1
+        assert scanner.scan_pages(1) == 1
+        scanner.unregister(b)
+        # The next examined page must be c:0, still inside pass 2, where
+        # it meets a:0 in the unstable tree.  The old cursor handling
+        # skipped c and spuriously counted a second pass instead.
+        assert scanner.scan_pages(1) == 1
+        assert scanner.stats.merges == 1
+        assert a.translate(0) == c.translate(0)
+        assert scanner.stats.full_scans == 1
+
+    def test_unregister_last_table_mid_scan(self):
+        pm, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 1)
+        pm.map_token(b, 0, 2)
+        # Walk into b so the cursor sits on the last table.
+        assert scanner.scan_pages(2) == 2
+        scanner.unregister(b)
+        # No IndexError, and a is still scanned on subsequent passes.
+        assert scanner.scan_pages(1) == 1
+        assert scanner.registered_tables == (a,)
+
+    def test_unregister_only_table_mid_scan(self):
+        pm, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        pm.map_token(a, 0, 1)
+        pm.map_token(a, 1, 2)
+        assert scanner.scan_pages(1) == 1
+        scanner.unregister(a)
+        assert scanner.scan_pages(10) == 0
+
+
+class TestDuplicateTableNames:
+    def test_duplicate_name_rejected(self):
+        _pm, scanner = make_scanner()
+        scanner.register(PageTable("host:qemu-vm1"))
+        with pytest.raises(ValueError, match="unique table names"):
+            scanner.register(PageTable("host:qemu-vm1"))
+
+    def test_same_name_after_unregister_ok(self):
+        _pm, scanner = make_scanner()
+        first = PageTable("host:qemu-vm1")
+        scanner.register(first)
+        scanner.unregister(first)
+        scanner.register(PageTable("host:qemu-vm1"))  # must not raise
+
+    def test_histories_keyed_by_identity(self):
+        """Two distinct tables never share volatility history."""
+        pm, scanner = make_scanner()
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 9)
+        scanner.scan_pages(2)
+        assert scanner.volatility_tracked(a) == {0: 5}
+        assert scanner.volatility_tracked(b) == {0: 9}
+
+
+class TestVolatilityHistoryPruning:
+    def test_unmapped_vpns_pruned_at_pass_end(self):
+        pm, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        for vpn in range(8):
+            pm.map_token(a, vpn, 100 + vpn)
+        scanner.run_until_converged(max_passes=3)
+        for vpn in range(4):
+            pm.unmap(a, vpn)
+        scanner.run_until_converged(max_passes=3)
+        tracked = scanner.volatility_tracked(a)
+        assert set(tracked) == {4, 5, 6, 7}
+        assert validate_scanner(scanner).ok
+        assert "ksm-volatility-leak" not in validate_scanner(scanner).codes()
+
+    def test_validate_scanner_flags_leak(self):
+        """The validator notices history entries with no live backing."""
+        pm, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        pm.map_token(a, 0, 5)
+        scanner.scan_pages(1)  # records 0 -> 5 in the history
+        pm.unmap(a, 0)
+        a.clear_dirty()  # simulate a lost write-protect notification
+        report = validate_scanner(scanner)
+        assert "ksm-volatility-leak" in report.codes()
+
+    def test_incremental_prunes_via_dirty_log(self):
+        pm, scanner = make_scanner(scan_policy="incremental")
+        a = PageTable("a")
+        scanner.register(a)
+        for vpn in range(4):
+            pm.map_token(a, vpn, 100 + vpn)
+        scanner.run_until_converged(max_passes=4)
+        pm.unmap(a, 0)
+        pm.unmap(a, 1)
+        scanner.run_until_converged(max_passes=4)
+        assert set(scanner.volatility_tracked(a)) <= {2, 3}
+        assert "ksm-volatility-leak" not in validate_scanner(scanner).codes()
+
+
+class TestEmptyTablesCostNothing:
+    def test_no_pass_recorded_when_all_tables_empty(self):
+        _pm, scanner = make_scanner()
+        scanner.register(PageTable("a"))
+        scanner.register(PageTable("b"))
+        assert scanner.scan_pages(1000) == 0
+        assert scanner.stats.full_scans == 0
+        assert scanner.history == []
+
+    def test_empty_run_cycles_costs_zero_cpu(self):
+        _pm, scanner = make_scanner()
+        scanner.register(PageTable("a"))
+        scanner.run_cycles(10)
+        assert scanner.stats.cpu_ms == 0.0
+        assert scanner.stats.full_scans == 0
+        assert scanner.history == []
+
+    def test_pass_counting_resumes_after_pages_appear(self):
+        pm, scanner = make_scanner()
+        a = PageTable("a")
+        scanner.register(a)
+        scanner.scan_pages(50)  # empty: silent
+        pm.map_token(a, 0, 5)
+        scanner.run_until_converged(max_passes=3)
+        assert scanner.stats.full_scans >= 1
+        assert len(scanner.history) == scanner.stats.full_scans
