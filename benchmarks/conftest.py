@@ -1,15 +1,21 @@
 """Benchmark harness configuration.
 
 Every module in this directory regenerates one table or figure of the
-paper and prints the same rows/series the paper reports.  Heavy page-level
-experiments are cached per session so that figures sharing a run (e.g.
-Fig. 2 and Fig. 3(a)) build it once.
+paper and prints the same rows/series the paper reports.  Heavy
+page-level experiments go through the shared content-addressed
+:class:`repro.exec.ResultCache`: figures sharing a run (e.g. Fig. 2 and
+Fig. 3(a)) build it once per session, and — because results persist on
+disk keyed by their full input fingerprint — once per *machine* until
+the inputs or the code version change.
 
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — size factor for the page-level experiments
   (default 1.0 = the paper's actual sizes; use e.g. 0.1 for a quick pass).
 * ``REPRO_BENCH_TICKS`` — measurement ticks per scenario (default 6).
+* ``REPRO_BENCH_SEED`` — the seed every bench scenario runs with.
+* ``REPRO_CACHE_DIR`` / ``REPRO_CACHE=0`` — result-cache directory /
+  kill switch (see ``repro cache``).
 """
 
 from __future__ import annotations
@@ -21,11 +27,18 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro.core.experiments.scenarios import ScenarioResult, run_scenario
+from repro.core.experiments.scenarios import (
+    ScenarioRequest,
+    ScenarioResult,
+    run_scenario_cached,
+)
 from repro.core.preload import CacheDeployment
+from repro.exec.cache import default_cache
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_TICKS = int(os.environ.get("REPRO_BENCH_TICKS", "6"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20130421"))
+BENCH_SCAN_POLICY = os.environ.get("REPRO_BENCH_SCAN_POLICY", "full")
 
 #: Tight absolute-MB assertions only hold near full scale (fixed-size
 #: pieces like the 256 KiB cache header distort shrunk runs slightly).
@@ -42,20 +55,31 @@ def pytest_configure(config):
         config.option.reportchars = current + "P"
 
 
-_scenario_cache = {}
+def bench_request(
+    scenario: str, deployment: CacheDeployment
+) -> ScenarioRequest:
+    """The full fingerprint of a bench scenario run.
+
+    Scale, ticks, seed and scan policy are all part of the request, so
+    changing any ``REPRO_BENCH_*`` knob between runs can never serve a
+    stale result.  (The old session dict keyed only on
+    ``(scenario, deployment)`` and could.)
+    """
+    return ScenarioRequest(
+        scenario=scenario,
+        deployment=deployment,
+        scale=BENCH_SCALE,
+        measurement_ticks=BENCH_TICKS,
+        seed=BENCH_SEED,
+        scan_policy=BENCH_SCAN_POLICY,
+    )
 
 
 def get_scenario(scenario: str, deployment: CacheDeployment) -> ScenarioResult:
-    """Session-cached page-level scenario run at the bench scale."""
-    key = (scenario, deployment)
-    if key not in _scenario_cache:
-        _scenario_cache[key] = run_scenario(
-            scenario,
-            deployment,
-            scale=BENCH_SCALE,
-            measurement_ticks=BENCH_TICKS,
-        )
-    return _scenario_cache[key]
+    """Cache-shared page-level scenario run at the bench scale."""
+    return run_scenario_cached(
+        bench_request(scenario, deployment), cache=default_cache()
+    )
 
 
 def scale_mb(num_bytes: float) -> float:

@@ -1,0 +1,179 @@
+"""Performance smoke — core pipeline wall-clock, emitted as BENCH_core.json.
+
+Two measurements, written to ``BENCH_core.json`` (override the path
+with ``REPRO_BENCH_CORE_JSON``) so CI can archive and compare them:
+
+* **Figure regeneration, cold vs. warm.**  All of Figs. 2–5 (eight
+  figures, six unique scenario runs) are generated twice against a
+  dedicated result cache.  The warm pass must perform *zero* scenario
+  rebuilds — every figure is served from the cache — and must render
+  byte-identically to the cold pass.
+
+* **Fig. 7 sweep, serial vs. parallel.**  The consolidation sweep runs
+  with ``jobs=1`` and with a worker pool; the rendered series must be
+  identical (CI fails on any divergence).  The speedup is recorded in
+  the report; it is only *asserted* on multi-core machines at
+  ``REPRO_BENCH_SCALE >= 0.25``, where the footprint measurements are
+  heavy enough for fan-out to beat fork overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments.consolidation import run_daytrader_consolidation
+from repro.core.experiments.scenarios import run_scenario_cached
+from repro.core.preload import CacheDeployment
+from repro.core.report import render_series, render_vm_breakdown
+from repro.exec.cache import ResultCache
+from repro.exec.runner import resolve_jobs
+
+from conftest import BENCH_SCALE, BENCH_TICKS, bench_request
+
+BENCH_CORE_JSON = Path(
+    os.environ.get("REPRO_BENCH_CORE_JSON", "BENCH_core.json")
+)
+
+#: Figure -> the unique scenario run behind it (Figs. 2-5; eight
+#: figures share six runs — fig2/fig3a and fig4/fig5a are pairs).
+FIGURES = {
+    "fig2": ("daytrader4", CacheDeployment.NONE),
+    "fig3a": ("daytrader4", CacheDeployment.NONE),
+    "fig3b": ("mixed3", CacheDeployment.NONE),
+    "fig3c": ("tuscany3", CacheDeployment.NONE),
+    "fig4": ("daytrader4", CacheDeployment.SHARED_COPY),
+    "fig5a": ("daytrader4", CacheDeployment.SHARED_COPY),
+    "fig5b": ("mixed3", CacheDeployment.SHARED_COPY),
+    "fig5c": ("tuscany3", CacheDeployment.SHARED_COPY),
+}
+
+SWEEP_TICKS = min(BENCH_TICKS, 2)
+
+REPORT = {
+    "scale": BENCH_SCALE,
+    "ticks": BENCH_TICKS,
+    "jobs": resolve_jobs(),
+    "cpus": os.cpu_count(),
+    "figures": {},
+    "cache": {},
+    "sweep": {},
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_report():
+    """Write whatever was measured, even if an assertion fails later."""
+    yield
+    BENCH_CORE_JSON.write_text(
+        json.dumps(REPORT, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nwrote {BENCH_CORE_JSON.resolve()}")
+
+
+@pytest.fixture(scope="module")
+def figure_cache(tmp_path_factory):
+    return ResultCache(root=tmp_path_factory.mktemp("bench-cache"))
+
+
+def _regenerate(cache):
+    """One full pass over Figs. 2-5; returns per-figure (wall, render)."""
+    passes = {}
+    for figure, (scenario, deployment) in FIGURES.items():
+        started = time.perf_counter()
+        result = run_scenario_cached(
+            bench_request(scenario, deployment), cache=cache
+        )
+        wall = time.perf_counter() - started
+        passes[figure] = {
+            "wall_s": wall,
+            "render": render_vm_breakdown(result.vm_breakdown, figure),
+            "pages_scanned": result.ksm_stats.pages_scanned,
+        }
+    return passes
+
+
+def test_warm_figures_rebuild_nothing(figure_cache):
+    cold = _regenerate(figure_cache)
+    cold_misses = figure_cache.stats.misses
+    assert cold_misses == len(set(FIGURES.values()))
+
+    warm = _regenerate(figure_cache)
+    # Acceptance: a warm cache regenerates every figure with zero
+    # scenario rebuilds, and serves bit-identical renders.
+    assert figure_cache.stats.misses == cold_misses
+    assert figure_cache.stats.hits >= len(FIGURES)
+    for figure in FIGURES:
+        assert warm[figure]["render"] == cold[figure]["render"]
+        assert warm[figure]["pages_scanned"] == cold[figure]["pages_scanned"]
+
+    for figure in FIGURES:
+        REPORT["figures"][figure] = {
+            "cold_wall_s": round(cold[figure]["wall_s"], 4),
+            "warm_wall_s": round(warm[figure]["wall_s"], 4),
+            "pages_scanned": cold[figure]["pages_scanned"],
+        }
+    REPORT["cache"] = {
+        "unique_runs": cold_misses,
+        "hits": figure_cache.stats.hits,
+        "misses": figure_cache.stats.misses,
+        "hit_rate": round(figure_cache.stats.hit_rate, 4),
+    }
+    total_cold = sum(p["wall_s"] for p in cold.values())
+    total_warm = sum(p["wall_s"] for p in warm.values())
+    print(
+        f"\nfigs 2-5: cold {total_cold:.2f}s -> warm {total_warm:.2f}s "
+        f"({figure_cache.stats.hits} cache hits, "
+        f"{cold_misses} unique runs)"
+    )
+
+
+def _render_sweep(result):
+    return render_series(
+        "fig7", "guest VMs", result.vm_counts,
+        {
+            "default": result.series("default"),
+            "preloaded": result.series("preloaded"),
+        },
+    )
+
+
+def test_fig7_parallel_matches_serial():
+    jobs = max(resolve_jobs(), 2)
+    kwargs = dict(
+        footprint_scale=BENCH_SCALE,
+        measurement_ticks=SWEEP_TICKS,
+    )
+
+    started = time.perf_counter()
+    serial = run_daytrader_consolidation(jobs=1, cache=None, **kwargs)
+    serial_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_daytrader_consolidation(jobs=jobs, cache=None, **kwargs)
+    parallel_wall = time.perf_counter() - started
+
+    # CI fails here if the parallel figures diverge from serial.
+    assert _render_sweep(parallel) == _render_sweep(serial)
+
+    speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+    REPORT["sweep"] = {
+        "jobs": jobs,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(speedup, 3),
+        "identical_series": True,
+    }
+    print(
+        f"\nfig7 sweep: serial {serial_wall:.2f}s, "
+        f"jobs={jobs} {parallel_wall:.2f}s (speedup {speedup:.2f}x)"
+    )
+    # Fork overhead swamps tiny footprints and single-core machines
+    # cannot win from fan-out; only assert the speedup where it is
+    # physically expected.
+    if (os.cpu_count() or 1) >= 2 and BENCH_SCALE >= 0.25:
+        assert parallel_wall < serial_wall

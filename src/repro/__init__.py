@@ -57,6 +57,16 @@ from repro.core.experiments import (
     run_specj_consolidation,
     scale_workload,
 )
+from repro.core.experiments.scenarios import (
+    ScenarioRequest,
+    run_scenario_cached,
+)
+from repro.exec import (
+    ParallelRunner,
+    ResultCache,
+    WorkUnit,
+    default_cache,
+)
 from repro.core.preload import (
     BaseImageCache,
     CacheDeployment,
@@ -130,7 +140,9 @@ __all__ = [
     "KvmTestbed",
     "TestbedConfig",
     "ScenarioResult",
+    "ScenarioRequest",
     "run_scenario",
+    "run_scenario_cached",
     "PowerVmResult",
     "run_powervm_experiment",
     "ConsolidationResult",
@@ -141,6 +153,11 @@ __all__ = [
     "render_vm_breakdown",
     "render_java_breakdown",
     "render_series",
+    # execution engine (parallel runner + result cache)
+    "ParallelRunner",
+    "WorkUnit",
+    "ResultCache",
+    "default_cache",
     # related-work systems (§VI), built as working subsystems
     "BalloonDriver",
     "BalloonManager",

@@ -19,6 +19,15 @@ command: collection turns resilient (retry, backoff, quarantine), the
 dump is cross-validated, and breakdowns carry explicit bounds for
 whatever the damage made unattributable.  ``doctor`` runs one scenario
 under that regime and prints the full collection + validation reports.
+
+``--jobs N`` (or ``REPRO_JOBS``) fans independent work units — the two
+footprint measurements behind a consolidation sweep — out over worker
+processes; results are bit-identical to serial runs.  Figure results are
+also persisted in a content-addressed cache (``.repro-cache`` or
+``REPRO_CACHE_DIR``), so re-running a figure, or a figure that shares
+its scenario with one already run (Fig. 2 / Fig. 3(a)), is near
+instant.  ``--no-cache`` bypasses it, ``--cache-stats`` reports on it,
+and ``repro cache [--wipe]`` inspects or empties it.
 """
 
 from __future__ import annotations
@@ -32,8 +41,15 @@ from repro.core.experiments.consolidation import (
     run_specj_consolidation,
 )
 from repro.core.experiments.powervm import run_powervm_experiment
-from repro.core.experiments.scenarios import SCENARIOS, run_scenario
+from repro.core.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioRequest,
+    run_scenario,
+    run_scenario_cached,
+)
 from repro.core.preload import CacheDeployment
+from repro.exec.cache import ResultCache, default_cache
+from repro.exec.stats import render_exec_stats
 from repro.core.report import (
     render_java_breakdown,
     render_kv,
@@ -85,6 +101,28 @@ def _build_parser() -> argparse.ArgumentParser:
             "[0,1] overrides every per-kind probability)"
         ),
     )
+    common.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for independent work units "
+            "(default: $REPRO_JOBS, else 1 = in-process)"
+        ),
+    )
+    common.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache for this command",
+    )
+    common.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "result-cache directory (default: $REPRO_CACHE_DIR, "
+            "else .repro-cache)"
+        ),
+    )
+    common.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache and runner statistics after the command",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,7 +160,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[d.value for d in CacheDeployment],
         default="none",
     )
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or wipe the result cache"
+    )
+    cache_cmd.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR, else .repro-cache)",
+    )
+    cache_cmd.add_argument(
+        "--wipe", action="store_true", help="delete every cached result"
+    )
     return parser
+
+
+def _cache_from(args) -> Optional[ResultCache]:
+    """The result cache a command should use (None = bypass)."""
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return ResultCache(root=args.cache_dir)
+    return default_cache()
 
 
 def _fault_plan(args) -> Optional[FaultPlan]:
@@ -141,12 +198,23 @@ def _print_fault_reports(result) -> None:
         print(result.validation_report.render())
 
 
+def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
+    return ScenarioRequest(
+        scenario=scenario,
+        deployment=deployment,
+        scale=args.scale,
+        measurement_ticks=args.ticks,
+        seed=args.seed,
+        scan_policy=args.scan_policy,
+        faults=_fault_plan(args),
+    )
+
+
 def _run_breakdown_figure(figure: str, args) -> None:
     scenario, deployment, kind = _BREAKDOWN_FIGURES[figure]
-    result = run_scenario(
-        scenario, deployment, scale=args.scale,
-        measurement_ticks=args.ticks, seed=args.seed,
-        faults=_fault_plan(args), scan_policy=args.scan_policy,
+    result = run_scenario_cached(
+        _scenario_request(args, scenario, deployment),
+        cache=_cache_from(args),
     )
     title = (
         f"{figure}: {scenario} ({deployment.value}), scale={args.scale}"
@@ -188,16 +256,17 @@ def _run_fig6(args) -> None:
 
 def _run_consolidation(figure: str, args) -> None:
     faults = _fault_plan(args)
+    cache = _cache_from(args)
     if figure == "fig7":
         result = run_daytrader_consolidation(
             footprint_scale=args.scale, seed=args.seed, faults=faults,
-            scan_policy=args.scan_policy,
+            scan_policy=args.scan_policy, jobs=args.jobs, cache=cache,
         )
         unit = "req/s"
     else:
         result = run_specj_consolidation(
             footprint_scale=args.scale, seed=args.seed, faults=faults,
-            scan_policy=args.scan_policy,
+            scan_policy=args.scan_policy, jobs=args.jobs, cache=cache,
         )
         unit = "EjOPS"
     print(render_series(
@@ -287,6 +356,19 @@ def _run_tables() -> None:
     ))
 
 
+def _run_cache(args) -> None:
+    cache = (
+        ResultCache(root=args.cache_dir)
+        if args.cache_dir
+        else default_cache()
+    )
+    if args.wipe:
+        removed = cache.wipe()
+        print(f"wiped {removed} cached result(s) from {cache.root}")
+    else:
+        print(cache.describe())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
@@ -301,15 +383,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_tables()
         elif command == "doctor":
             _run_doctor(args)
+        elif command == "cache":
+            _run_cache(args)
         elif command == "scenario":
-            result = run_scenario(
-                args.name,
-                CacheDeployment(args.deployment),
-                scale=args.scale,
-                measurement_ticks=args.ticks,
-                seed=args.seed,
-                faults=_fault_plan(args),
-                scan_policy=args.scan_policy,
+            result = run_scenario_cached(
+                _scenario_request(
+                    args, args.name, CacheDeployment(args.deployment)
+                ),
+                cache=_cache_from(args),
             )
             print(render_vm_breakdown(
                 result.vm_breakdown,
@@ -319,6 +400,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(render_java_breakdown(result.java_breakdown, "per-JVM"))
             if args.faults is not None:
                 _print_fault_reports(result)
+        if getattr(args, "cache_stats", False):
+            print()
+            print(render_exec_stats(cache=_cache_from(args)))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import Benchmark, SPECJ_JVM_GENCON
 from repro.core.experiments.testbed import (
@@ -38,6 +38,9 @@ from repro.core.experiments.testbed import (
     scale_workload,
 )
 from repro.core.preload import CacheDeployment
+from repro.exec.cache import ResultCache
+from repro.exec.runner import ParallelRunner, WorkUnit
+from repro.exec.stats import GLOBAL_RUNNER_STATS
 from repro.perf.paging import PagingModel
 from repro.perf.throughput import DayTraderThroughputModel, SpecjScoreModel
 from repro.units import GiB, MiB
@@ -156,6 +159,88 @@ _DEPLOYMENTS = (
 )
 
 
+@dataclass(frozen=True)
+class FootprintRequest:
+    """One stage-1 footprint measurement: work unit and cache key.
+
+    Like :class:`~repro.core.experiments.scenarios.ScenarioRequest`, the
+    request is self-contained (everything the measurement depends on,
+    seed included), so it can be shipped to a pool worker and used as a
+    content-addressed fingerprint interchangeably.
+    """
+
+    workload: Workload
+    deployment: CacheDeployment
+    guest_memory_bytes: int
+    guests: int = 3
+    scale: float = 1.0
+    measurement_ticks: int = 4
+    seed: int = 20130421
+    scan_policy: str = "full"
+    faults: Optional[object] = None
+
+    def cache_parts(self):
+        """Input parts for :meth:`repro.exec.ResultCache.key`."""
+        return ("footprint", self)
+
+
+def _measure_footprint_request(request: FootprintRequest) -> Footprint:
+    """Module-level (picklable) entry point for pool workers."""
+    return measure_footprint(
+        request.workload,
+        request.deployment,
+        request.guest_memory_bytes,
+        guests=request.guests,
+        scale=request.scale,
+        measurement_ticks=request.measurement_ticks,
+        seed=request.seed,
+        faults=request.faults,
+        scan_policy=request.scan_policy,
+    )
+
+
+def _measure_footprints(
+    requests: Sequence[Tuple[str, FootprintRequest]],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> Dict[str, Footprint]:
+    """Cache-aware fan-out of the stage-1 footprint measurements.
+
+    The parent process resolves cache hits first and only ships misses
+    to the pool; it also stores the fresh results itself, so hit/miss/
+    store statistics live in one process regardless of worker count.
+    """
+    footprints: Dict[str, Footprint] = {}
+    keys: Dict[str, str] = {}
+    missing: List[Tuple[str, FootprintRequest]] = []
+    caching = cache is not None and cache.enabled
+    for label, request in requests:
+        if caching:
+            keys[label] = cache.key(*request.cache_parts())
+            value, hit = cache.get(keys[label])
+            if hit:
+                footprints[label] = value
+                continue
+        missing.append((label, request))
+    if missing:
+        if runner is None:
+            runner = ParallelRunner(jobs=jobs, stats=GLOBAL_RUNNER_STATS)
+        units = [
+            WorkUnit(
+                _measure_footprint_request,
+                (request,),
+                label=f"footprint:{label}:{request.deployment.value}",
+            )
+            for label, request in missing
+        ]
+        for (label, _), footprint in zip(missing, runner.map(units)):
+            if caching:
+                cache.put(keys[label], footprint)
+            footprints[label] = footprint
+    return footprints
+
+
 def _sweep(
     workload: Workload,
     guest_memory_bytes: int,
@@ -167,23 +252,42 @@ def _sweep(
     seed: int,
     faults=None,
     scan_policy: str = "full",
+    measurement_ticks: int = 4,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> ConsolidationResult:
     result = ConsolidationResult(
         benchmark=workload.benchmark,
         vm_counts=list(vm_counts),
         footprints={},
     )
-    for label, deployment in _DEPLOYMENTS:
-        footprint = measure_footprint(
-            workload,
-            deployment,
-            guest_memory_bytes,
-            guests=footprint_guests,
-            scale=footprint_scale,
-            seed=seed,
-            faults=faults,
-            scan_policy=scan_policy,
+    # Stage 1 dominates the sweep's cost and its two deployments are
+    # independent, so they fan out (and cache) as work units.  Stage 2
+    # below is closed-form arithmetic per point — cheaper than shipping
+    # a work unit — so the points stay inline.
+    requests = [
+        (
+            label,
+            FootprintRequest(
+                workload=workload,
+                deployment=deployment,
+                guest_memory_bytes=guest_memory_bytes,
+                guests=footprint_guests,
+                scale=footprint_scale,
+                measurement_ticks=measurement_ticks,
+                seed=seed,
+                scan_policy=scan_policy,
+                faults=faults,
+            ),
         )
+        for label, deployment in _DEPLOYMENTS
+    ]
+    footprints = _measure_footprints(
+        requests, jobs=jobs, cache=cache, runner=runner
+    )
+    for label, deployment in _DEPLOYMENTS:
+        footprint = footprints[label]
         result.footprints[label] = footprint
         points = []
         for n_vms in vm_counts:
@@ -209,8 +313,18 @@ def run_daytrader_consolidation(
     seed: int = 20130421,
     faults=None,
     scan_policy: str = "full",
+    measurement_ticks: int = 4,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ConsolidationResult:
-    """Fig. 7: DayTrader throughput versus the number of guest VMs."""
+    """Fig. 7: DayTrader throughput versus the number of guest VMs.
+
+    ``jobs`` fans the independent footprint measurements out over
+    worker processes (default: ``REPRO_JOBS`` or serial); ``cache``
+    reuses previously measured footprints with matching fingerprints.
+    Both are transparent: the sweep's numbers are identical with any
+    worker count and with a cold or warm cache.
+    """
     workload = build_workload(Benchmark.DAYTRADER)
     paging = PagingModel(capacity_bytes=host_ram_bytes)
     model = DayTraderThroughputModel(
@@ -231,6 +345,9 @@ def run_daytrader_consolidation(
         seed,
         faults=faults,
         scan_policy=scan_policy,
+        measurement_ticks=measurement_ticks,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -242,11 +359,15 @@ def run_specj_consolidation(
     seed: int = 20130421,
     faults=None,
     scan_policy: str = "full",
+    measurement_ticks: int = 4,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ConsolidationResult:
     """Fig. 8: SPECjEnterprise 2010 score at injection rate 15.
 
     Uses the gencon GC policy with a 530 MB nursery and 200 MB tenured
-    area, as §V.C specifies.
+    area, as §V.C specifies.  ``jobs`` and ``cache`` behave exactly as
+    in :func:`run_daytrader_consolidation`.
     """
     base = build_workload(Benchmark.SPECJENTERPRISE)
     workload = Workload(base.profile, SPECJ_JVM_GENCON, base.driver_config)
@@ -267,4 +388,7 @@ def run_specj_consolidation(
         seed,
         faults=faults,
         scan_policy=scan_policy,
+        measurement_ticks=measurement_ticks,
+        jobs=jobs,
+        cache=cache,
     )

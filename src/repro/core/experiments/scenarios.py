@@ -34,6 +34,7 @@ from repro.core.experiments.testbed import (
     scale_workload,
 )
 from repro.core.preload import CacheDeployment
+from repro.exec.cache import ResultCache
 from repro.faults.plan import FaultPlan
 from repro.ksm.stats import KsmStats
 from repro.units import GiB
@@ -130,4 +131,58 @@ def run_scenario(
         dump=result.dump,
         collection_report=result.dump.collection,
         validation_report=result.validation,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """Everything that determines one breakdown scenario run.
+
+    This is both the picklable work unit the parallel runner ships to
+    workers and the complete cache fingerprint: two requests that
+    compare equal always produce byte-identical results, and any field
+    change (scale, ticks, seed, scan policy, fault plan) changes the
+    fingerprint, so a stale cached result can never be served.
+    """
+
+    scenario: str
+    deployment: CacheDeployment = CacheDeployment.NONE
+    scale: float = 1.0
+    measurement_ticks: Optional[int] = None
+    seed: int = 20130421
+    scan_policy: str = "full"
+    faults: Optional[FaultPlan] = None
+
+    def cache_parts(self):
+        """Input parts for :meth:`repro.exec.ResultCache.key`."""
+        return ("scenario-run", self)
+
+
+def run_scenario_request(request: ScenarioRequest) -> ScenarioResult:
+    """Run the scenario a request describes (module-level, picklable)."""
+    return run_scenario(
+        request.scenario,
+        request.deployment,
+        scale=request.scale,
+        measurement_ticks=request.measurement_ticks,
+        seed=request.seed,
+        faults=request.faults,
+        scan_policy=request.scan_policy,
+    )
+
+
+def run_scenario_cached(
+    request: ScenarioRequest, cache: Optional[ResultCache] = None
+) -> ScenarioResult:
+    """Run a scenario through the content-addressed result cache.
+
+    With no ``cache`` (or a disabled one) this is plain
+    :func:`run_scenario_request`; with one, repeated invocations — and
+    cross-figure duplicates such as Fig. 2 / Fig. 3(a), which are the
+    identical ``daytrader4`` run — become near-instant hits.
+    """
+    if cache is None or not cache.enabled:
+        return run_scenario_request(request)
+    return cache.get_or_compute(
+        request.cache_parts(), lambda: run_scenario_request(request)
     )

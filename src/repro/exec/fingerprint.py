@@ -1,0 +1,82 @@
+"""Canonical fingerprints of experiment inputs.
+
+The result cache and the parallel runner both need a stable identity for
+"the same experiment": a 64-bit value that is a pure function of the
+inputs — scenario name, deployment, scale, ticks, seed, scan policy,
+fault plan, code version — and of nothing else.  Python's built-in
+``hash`` is salted per process and default ``repr`` may include object
+addresses, so fingerprints are built from an explicit *canonical form*:
+every input is reduced to nested tuples of primitives, rendered to a
+deterministic string, and hashed with
+:func:`repro.sim.rng.stable_hash64` (BLAKE2b), the same process-stable
+hash the simulator uses for page contents.
+
+Structural types are handled generically:
+
+* primitives (``None``, ``bool``, ``int``, ``float``, ``str``,
+  ``bytes``) pass through;
+* enums become ``(class name, value)``;
+* dataclasses become ``(class name, (field, value), ...)``;
+* mappings are sorted by key so insertion order cannot leak in;
+* sequences become tuples, sets are sorted.
+
+Non-dataclass objects opt in by exposing ``fingerprint_parts()``
+returning any canonicalizable value (see
+:meth:`repro.faults.FaultPlan.fingerprint_parts` and
+:meth:`repro.workloads.base.Workload.fingerprint_parts`).  Anything
+else raises ``TypeError`` — silently fingerprinting an object by
+address would make "identical inputs" lie.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+from repro.sim.rng import stable_hash64
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to nested tuples of primitives, deterministically."""
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__name__, canonical(obj.value))
+    if hasattr(obj, "fingerprint_parts"):
+        return ("obj", type(obj).__name__, canonical(obj.fingerprint_parts()))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            "dataclass",
+            type(obj).__name__,
+            tuple(
+                (f.name, canonical(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, dict):
+        items = sorted(
+            ((canonical(k), canonical(v)) for k, v in obj.items()),
+            key=repr,
+        )
+        return ("map", tuple(items))
+    if isinstance(obj, (list, tuple)):
+        return tuple(canonical(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((canonical(x) for x in obj), key=repr)))
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}: not a primitive, "
+        "enum, dataclass or container, and it does not define "
+        "fingerprint_parts()"
+    )
+
+
+def fingerprint64(*parts: Any) -> int:
+    """A process-stable non-zero 64-bit fingerprint of the given parts."""
+    rendered = repr(tuple(canonical(part) for part in parts))
+    return stable_hash64("fingerprint", rendered)
+
+
+def fingerprint_hex(*parts: Any) -> str:
+    """The fingerprint as a fixed-width hex string (cache file names)."""
+    return format(fingerprint64(*parts), "016x")

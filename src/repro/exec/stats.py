@@ -1,0 +1,48 @@
+"""Process-wide execution statistics.
+
+One :class:`~repro.exec.runner.RunnerStats` instance
+(:data:`GLOBAL_RUNNER_STATS`) accumulates across every runner the CLI
+builds, and the default :class:`~repro.exec.cache.ResultCache` carries
+its own :class:`~repro.exec.cache.CacheStats`; this module renders both
+as the report behind ``repro <figure> --cache-stats`` and
+``repro cache``, and is what tests assert against ("a warm cache
+rebuilds nothing").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.cache import ResultCache, default_cache
+from repro.exec.runner import RunnerStats
+
+#: Shared by every runner the CLI (and the benchmark harness) builds.
+GLOBAL_RUNNER_STATS = RunnerStats()
+
+
+def render_exec_stats(
+    cache: Optional[ResultCache] = None,
+    runner: Optional[RunnerStats] = None,
+) -> str:
+    """The combined cache + runner report, ready to print."""
+    cache = cache if cache is not None else default_cache()
+    runner = runner if runner is not None else GLOBAL_RUNNER_STATS
+    title = "execution engine"
+    return "\n".join(
+        [
+            title,
+            "=" * len(title),
+            cache.describe(),
+            f"work units     : {runner.render()}",
+            f"runner wall    : {runner.wall_seconds:.2f} s",
+        ]
+    )
+
+
+def reset_exec_stats() -> None:
+    """Zero the global runner counters (the cache keeps its own stats)."""
+    GLOBAL_RUNNER_STATS.parallel_units = 0
+    GLOBAL_RUNNER_STATS.serial_units = 0
+    GLOBAL_RUNNER_STATS.retries = 0
+    GLOBAL_RUNNER_STATS.pool_fallbacks = 0
+    GLOBAL_RUNNER_STATS.wall_seconds = 0.0

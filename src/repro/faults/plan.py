@@ -170,5 +170,11 @@ class FaultPlan:
         )
         return stream.randrange(1, MAX_DUMP_ATTEMPTS + 1)
 
+    def fingerprint_parts(self):
+        """Canonical identity for result-cache keys: two plans built from
+        the same seed and rates inject byte-identical damage, so they
+        may share cached results."""
+        return ("FaultPlan", self.seed, self.rates)
+
     def __repr__(self) -> str:
         return f"FaultPlan(seed={self.seed}, rates={self.rates})"

@@ -26,13 +26,43 @@ that the equality relation is the same one byte comparison would give:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.sim.rng import stable_hash64
 
 #: Token of the all-zero page.  Guaranteed never returned by
 #: :func:`repro.sim.rng.stable_hash64`.
 ZERO_TOKEN = 0
+
+#: Bound on the page-token memo.  Identical page layouts recur heavily —
+#: every guest booted from the same image and every JVM loading the same
+#: middleware lays out the same (content_id, offsets) per page — so the
+#: BLAKE2b digest for a repeated layout is paid once per process.  The
+#: bound only guards against pathological content churn.
+TOKEN_MEMO_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=TOKEN_MEMO_SIZE)
+def _page_token(parts: Tuple[int, ...]) -> int:
+    """Memoized token of one page's slice layout (the scan hot path)."""
+    return stable_hash64("page", *parts)
+
+
+def token_memo_stats() -> Dict[str, int]:
+    """Hit/miss counters of the page-token memo (for micro-benchmarks)."""
+    info = _page_token.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "entries": info.currsize,
+        "max_entries": info.maxsize,
+    }
+
+
+def token_memo_clear() -> None:
+    """Empty the page-token memo (micro-benchmarks measure from cold)."""
+    _page_token.cache_clear()
 
 #: ``content_id`` representing all-zero bytes inside a chunk sequence.
 ZERO_CONTENT = 0
@@ -139,7 +169,7 @@ def page_tokens_for_chunks(
         if all_zero:
             tokens.append(ZERO_TOKEN)
         else:
-            tokens.append(stable_hash64("page", *parts))
+            tokens.append(_page_token(tuple(parts)))
     return tokens
 
 
@@ -154,7 +184,5 @@ def uniform_tokens(content_ids: Iterable[int], page_size: int) -> List[int]:
         if content_id == ZERO_CONTENT:
             tokens.append(ZERO_TOKEN)
         else:
-            tokens.append(
-                stable_hash64("page", content_id, 0, page_size, 0)
-            )
+            tokens.append(_page_token((content_id, 0, page_size, 0)))
     return tokens

@@ -53,6 +53,14 @@ class Workload:
             self._universe = ClassUniverse(self.profile)
         return self._universe
 
+    def fingerprint_parts(self):
+        """Canonical identity for result-cache keys.
+
+        The lazily built class universe is excluded: it is a pure
+        function of the profile, so the three configs determine it.
+        """
+        return ("Workload", self.profile, self.jvm_config, self.driver_config)
+
     def __repr__(self) -> str:
         return f"Workload({self.profile.benchmark.value!r})"
 

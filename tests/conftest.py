@@ -15,6 +15,29 @@ from repro.workloads.profile import WorkloadProfile
 TEST_SEED = 1234
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the default result cache at a per-session temp directory.
+
+    CLI tests exercise the real caching path; without this they would
+    drop a ``.repro-cache`` directory into the working tree and could
+    reuse entries from a previous (different) checkout of the code.
+    """
+    import os
+
+    from repro.exec.cache import ENV_CACHE_DIR, reset_default_cache
+
+    previous = os.environ.get(ENV_CACHE_DIR)
+    os.environ[ENV_CACHE_DIR] = str(tmp_path_factory.mktemp("repro-cache"))
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop(ENV_CACHE_DIR, None)
+    else:
+        os.environ[ENV_CACHE_DIR] = previous
+    reset_default_cache()
+
+
 @pytest.fixture
 def host():
     """A small KVM host (64 MiB RAM, 4 KiB pages)."""

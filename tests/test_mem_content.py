@@ -151,3 +151,40 @@ class TestUniformTokens:
     def test_distinct_ids_distinct_tokens(self):
         tokens = uniform_tokens([1, 2, 3], PAGE)
         assert len(set(tokens)) == 3
+
+
+class TestTokenMemo:
+    """The memoized token path must be invisible except for speed."""
+
+    def test_memo_matches_direct_hash(self):
+        from repro.mem.content import token_memo_clear
+        from repro.sim.rng import stable_hash64
+
+        token_memo_clear()
+        for content_id in (1, 7, 1 << 40):
+            assert uniform_tokens([content_id], PAGE) == [
+                stable_hash64("page", content_id, 0, PAGE, 0)
+            ]
+        chunks = [Chunk(9, PAGE // 2), Chunk(11, PAGE // 2)]
+        expected = stable_hash64(
+            "page", 9, 0, PAGE // 2, 0, 11, 0, PAGE // 2, PAGE // 2
+        )
+        assert page_tokens_for_chunks(chunks, PAGE) == [expected]
+
+    def test_repeated_layouts_hit_the_memo(self):
+        from repro.mem.content import token_memo_clear, token_memo_stats
+
+        token_memo_clear()
+        first = uniform_tokens([3, 4, 5], PAGE)
+        cold = token_memo_stats()
+        assert cold["misses"] == 3 and cold["hits"] == 0
+        second = uniform_tokens([3, 4, 5], PAGE)
+        warm = token_memo_stats()
+        assert second == first
+        assert warm["misses"] == 3 and warm["hits"] == 3
+
+    def test_memo_keys_include_page_size(self):
+        from repro.mem.content import token_memo_clear
+
+        token_memo_clear()
+        assert uniform_tokens([6], PAGE) != uniform_tokens([6], PAGE * 2)
