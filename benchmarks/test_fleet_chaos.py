@@ -1,0 +1,122 @@
+"""Fleet chaos smoke — the self-healing control loop under seeded faults.
+
+One seeded 50-host / 200-VM scenario runs with every fleet fault class
+armed (host crashes, degradations, memory-pressure spikes, network
+partitions, migration aborts).  The bench asserts the robustness
+contract end to end:
+
+* every fleet fault class actually fires for this seed (a chaos smoke
+  that injects nothing proves nothing);
+* the fleet invariants hold after the storm — no VM lost or
+  double-placed, committed bytes conserved, savings bounds sane;
+* the run is bit-identical at ``--jobs 1`` and ``--jobs 4`` (the
+  per-host sharing convergence fans out over workers, the timeline does
+  not depend on it);
+* sharing-aware placement still beats first-fit on saved memory even
+  with the chaos engine rearranging the fleet.
+
+The full report is written to ``BENCH_fleet.json`` (override with
+``REPRO_BENCH_FLEET_JSON``) so CI can archive evacuation latency,
+placements retried and fleet MB saved vs first-fit across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.validate import validate_fleet
+from repro.datacenter.controller import FleetScenario, run_fleet_scenario
+from repro.datacenter.events import FAULT_EVENT_KINDS
+from repro.units import GiB, MiB
+
+from conftest import BENCH_SEED
+
+BENCH_FLEET_JSON = Path(
+    os.environ.get("REPRO_BENCH_FLEET_JSON", "BENCH_fleet.json")
+)
+
+#: The smoke scenario: small enough for CI, chaotic enough that every
+#: fleet fault class fires at this seed/rate (asserted below).
+SCENARIO = FleetScenario(
+    host_count=50,
+    vm_count=200,
+    host_ram_bytes=16 * GiB,
+    seed=BENCH_SEED,
+    policy="sharing-aware",
+    chaos_spec=f"{BENCH_SEED}:0.2",
+    horizon_ms=30 * 60_000,
+)
+
+_SESSION = {}
+
+
+def chaos_run(jobs):
+    if jobs not in _SESSION:
+        started = time.perf_counter()
+        result = run_fleet_scenario(SCENARIO, jobs=jobs)
+        _SESSION[jobs] = (result, time.perf_counter() - started)
+    return _SESSION[jobs]
+
+
+class TestFleetChaosSmoke:
+    def test_every_fleet_fault_class_fires(self):
+        result, _ = chaos_run(1)
+        counts = result.fleet.log.counts()
+        missing = [
+            kind.value
+            for kind in FAULT_EVENT_KINDS
+            if counts.get(kind.value, 0) == 0
+        ]
+        assert not missing, (
+            f"seed {SCENARIO.seed} no longer exercises: {missing}"
+        )
+        assert result.faults_injected >= 20
+
+    def test_invariants_hold_after_the_storm(self):
+        result, _ = chaos_run(1)
+        assert result.violations == []
+        report = validate_fleet(result.fleet, result.savings)
+        assert report.ok, report.render()
+        assert result.admitted + result.rejected == SCENARIO.vm_count
+
+    def test_self_healing_actually_healed(self):
+        result, _ = chaos_run(1)
+        assert result.evacuation_latencies_ms, "no crash was evacuated"
+        assert result.migrations.committed > 0
+        assert result.queued_final == 0
+
+    def test_jobs_1_and_4_bit_identical(self):
+        serial, _ = chaos_run(1)
+        parallel, _ = chaos_run(4)
+        assert serial.as_dict() == parallel.as_dict()
+
+    def test_sharing_aware_beats_first_fit_and_archive(self):
+        result, seconds = chaos_run(1)
+        report = result.as_dict()
+        saved_lower = report["savings"]["saved_bytes_lower"]
+        baseline = report["baseline_first_fit_saved_bytes"]
+        assert saved_lower > 0
+        assert saved_lower >= baseline, (
+            "sharing-aware placement saved less than first-fit under "
+            f"chaos: {saved_lower} < {baseline}"
+        )
+        report["wall_seconds"] = round(seconds, 3)
+        report["saved_mb_lower"] = round(saved_lower / MiB, 1)
+        report["saved_vs_first_fit_mb"] = round(
+            (saved_lower - baseline) / MiB, 1
+        )
+        BENCH_FLEET_JSON.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"fleet chaos: {report['faults_injected']} faults, "
+            f"{report['evacuations']['count']} evacuations "
+            f"(mean {report['evacuations']['mean_latency_ms']} ms), "
+            f"{report['placements_retried']} placements retried, "
+            f"{report['saved_mb_lower']} MB saved "
+            f"({report['saved_vs_first_fit_mb']:+} MB vs first-fit) "
+            f"in {report['wall_seconds']} s -> {BENCH_FLEET_JSON}"
+        )

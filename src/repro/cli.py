@@ -160,6 +160,61 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[d.value for d in CacheDeployment],
         default="none",
     )
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "run a fleet-scale chaos scenario: seeded faults, live "
+            "migration, self-healing placement"
+        ),
+    )
+    fleet.add_argument(
+        "--hosts", type=int, default=50, help="host count (default 50)"
+    )
+    fleet.add_argument(
+        "--vms", type=int, default=200, help="VM arrivals (default 200)"
+    )
+    fleet.add_argument(
+        "--host-ram-gib", type=int, default=16,
+        help="RAM per host in GiB (default 16)",
+    )
+    fleet.add_argument("--seed", type=int, default=20130421)
+    fleet.add_argument(
+        "--chaos-plan", metavar="SEED[:RATE]", default=None,
+        help=(
+            "arm the fleet chaos engine from this seed (optional RATE "
+            "in [0,1] applies to every fleet fault class; without it "
+            "the default per-class rates apply).  Omit for a fault-free "
+            "run."
+        ),
+    )
+    fleet.add_argument(
+        "--horizon-minutes", type=int, default=30,
+        help="length of the simulated timeline (default 30)",
+    )
+    fleet.add_argument(
+        "--policy", choices=["sharing-aware", "first-fit"],
+        default="sharing-aware",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for the per-host sharing convergence "
+            "(default: $REPRO_JOBS, else 1); results are bit-identical "
+            "at any value"
+        ),
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    fleet.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="also write the JSON report to this file",
+    )
+    fleet.add_argument(
+        "--events", type=int, default=0, metavar="N",
+        help="print the first N timeline events (0 = none)",
+    )
     cache_cmd = sub.add_parser(
         "cache", help="inspect or wipe the result cache"
     )
@@ -356,6 +411,88 @@ def _run_tables() -> None:
     ))
 
 
+def _run_fleet(args) -> int:
+    import json
+
+    from repro.datacenter.controller import (
+        FleetScenario,
+        run_fleet_scenario,
+    )
+    from repro.units import GiB
+
+    scenario = FleetScenario(
+        host_count=args.hosts,
+        vm_count=args.vms,
+        host_ram_bytes=args.host_ram_gib * GiB,
+        seed=args.seed,
+        policy=args.policy,
+        chaos_spec=args.chaos_plan,
+        horizon_ms=args.horizon_minutes * 60_000,
+    )
+    result = run_fleet_scenario(scenario, jobs=args.jobs)
+    report = result.as_dict()
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.bench_out:
+        with open(args.bench_out, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        savings = result.savings
+        print(
+            f"fleet: {args.hosts} hosts x {args.host_ram_gib} GiB, "
+            f"{args.vms} VM arrivals, policy={args.policy}"
+        )
+        chaos = args.chaos_plan if args.chaos_plan else "off"
+        print(
+            f"  chaos plan {chaos}: {result.faults_injected} fault(s) "
+            f"injected over {args.horizon_minutes} simulated minute(s)"
+        )
+        print(
+            f"  admission: {result.admitted} admitted, "
+            f"{result.queued_final} still queued, "
+            f"{result.rejected} rejected"
+        )
+        print(
+            f"  healing: {len(result.evacuation_latencies_ms)} "
+            f"evacuation(s) "
+            f"(max latency {report['evacuations']['max_latency_ms']} ms), "
+            f"{result.placements_retried} placement(s) retried"
+        )
+        migrations = result.migrations
+        print(
+            f"  migrations: {migrations.committed} committed, "
+            f"{migrations.failed} failed, "
+            f"{migrations.aborted_attempts} attempt(s) aborted by chaos"
+        )
+        if savings is not None:
+            print(
+                f"  sharing savings: "
+                f"[{savings.lower_bytes / MiB:.0f}, "
+                f"{savings.upper_bytes / MiB:.0f}] MB "
+                f"({savings.unreachable_hosts} host(s) unreachable) "
+                f"= {result.extra_vm_capacity()} extra VM(s) of capacity"
+            )
+        if result.baseline_saved_bytes is not None:
+            delta = report.get("saved_vs_first_fit_bytes", 0)
+            print(
+                f"  vs first-fit under the same chaos: "
+                f"{delta / MiB:+.0f} MB saved"
+            )
+        print(f"  placement fingerprint: {report['placement_fingerprint']}")
+        if args.events > 0:
+            print()
+            print(result.fleet.log.render(limit=args.events))
+    if result.violations:
+        print(
+            f"error: {len(result.violations)} fleet invariant "
+            "violation(s) detected",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_cache(args) -> None:
     cache = (
         ResultCache(root=args.cache_dir)
@@ -383,6 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_tables()
         elif command == "doctor":
             _run_doctor(args)
+        elif command == "fleet":
+            return _run_fleet(args)
         elif command == "cache":
             _run_cache(args)
         elif command == "scenario":

@@ -1,0 +1,181 @@
+"""The fleet chaos engine: seeded datacenter-level fault schedules.
+
+PR 1's :class:`~repro.faults.plan.FaultPlan` decides which *collection*
+faults hit which guest; this module lifts the same machinery to the
+fleet.  A chaos engine takes a fault plan whose **fleet rates**
+(``host_crash``, ``host_degraded``, ``memory_pressure_spike``,
+``network_partition``, ``migration_abort``) are armed and turns it into
+a concrete schedule of :class:`~repro.datacenter.events.FleetEvent` s
+on the sim clock: which hosts crash and when they come back, which
+degrade and drain, where memory pressure spikes, which rack-sized
+groups of hosts fall off the network — plus an online decider for
+migration aborts, consulted per attempt while the run executes.
+
+Every decision draws from plan streams keyed by ``(kind, entity)``, so
+the schedule is a pure function of ``(seed, rates, horizon, host
+names)`` — the same plan always breaks the same things at the same
+times, which is what makes a 1000-host chaos run replayable bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datacenter.events import FleetEvent, FleetEventKind
+from repro.faults.plan import COLLECTION_FAULT_KINDS, FaultKind, FaultPlan, FaultRates
+
+#: Default per-horizon fleet rates: enough churn that a 1000-host run
+#: sees hundreds of faults, while a 50-host CI smoke still sees every
+#: class.  Collection rates are zero — chaos plans never touch dumps.
+DEFAULT_FLEET_RATES = FaultRates(
+    **{kind.value.replace("-", "_"): 0.0 for kind in COLLECTION_FAULT_KINDS},
+    host_crash=0.05,
+    host_degraded=0.08,
+    migration_abort=0.30,
+    memory_pressure_spike=0.12,
+    network_partition=0.20,
+)
+
+
+class ChaosEngine:
+    """Builds and answers for one chaos plan over one horizon."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        horizon_ms: int,
+        partition_group: int = 8,
+    ) -> None:
+        if horizon_ms <= 0:
+            raise ValueError("chaos horizon must be positive")
+        if partition_group <= 0:
+            raise ValueError("partition groups need at least one host")
+        self.plan = plan
+        self.horizon_ms = horizon_ms
+        self.partition_group = partition_group
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: str,
+        horizon_ms: int,
+        partition_group: int = 8,
+    ) -> "ChaosEngine":
+        """Parse a ``SEED[:RATE]`` chaos spec (same grammar as --faults).
+
+        Without a rate the default fleet rates apply; with one, every
+        fleet fault class fires with that per-entity probability.
+        """
+        parsed = FaultPlan.from_spec(spec)  # validates SEED[:RATE]
+        _, sep, rate_part = spec.partition(":")
+        rates = (
+            FaultRates.fleet_uniform(float(rate_part))
+            if sep
+            else DEFAULT_FLEET_RATES
+        )
+        return cls(FaultPlan(parsed.seed, rates), horizon_ms,
+                   partition_group)
+
+    # ------------------------------------------------------------------
+
+    def _hits(self, kind: FaultKind, *entity) -> bool:
+        rate = self.plan.rates.rate_of(kind)
+        if rate <= 0.0:
+            return False
+        return (
+            self.plan.stream("fleet", kind.value, *entity).random() < rate
+        )
+
+    def _window(self, kind: FaultKind, entity: str, max_fraction: float):
+        """A deterministic (start, duration) window inside the horizon."""
+        stream = self.plan.stream("fleet-window", kind.value, entity)
+        start = stream.randrange(max(1, int(self.horizon_ms * 0.8)))
+        span = max(1, int(self.horizon_ms * max_fraction))
+        duration = 1 + stream.randrange(span)
+        return start, duration
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, host_names: Sequence[str]) -> List[FleetEvent]:
+        """Every host/group fault of this plan, in (time, kind) order."""
+        events: List[FleetEvent] = []
+        for name in host_names:
+            if self._hits(FaultKind.HOST_CRASH, name):
+                start, repair = self._window(
+                    FaultKind.HOST_CRASH, name, 0.3
+                )
+                events.append(FleetEvent(
+                    start, FleetEventKind.HOST_CRASH, name,
+                    f"repair in {repair} ms",
+                ))
+                events.append(FleetEvent(
+                    start + repair, FleetEventKind.HOST_RECOVERED, name,
+                ))
+            if self._hits(FaultKind.HOST_DEGRADED, name):
+                start, duration = self._window(
+                    FaultKind.HOST_DEGRADED, name, 0.2
+                )
+                events.append(FleetEvent(
+                    start, FleetEventKind.HOST_DEGRADED, name,
+                    f"drain window {duration} ms",
+                ))
+                events.append(FleetEvent(
+                    start + duration, FleetEventKind.HOST_RESTORED, name,
+                ))
+            if self._hits(FaultKind.MEMORY_PRESSURE_SPIKE, name):
+                start, duration = self._window(
+                    FaultKind.MEMORY_PRESSURE_SPIKE, name, 0.25
+                )
+                stream = self.plan.stream(
+                    "fleet-pressure", FaultKind.MEMORY_PRESSURE_SPIKE.value,
+                    name,
+                )
+                fraction = 0.15 + 0.25 * stream.random()
+                events.append(FleetEvent(
+                    start, FleetEventKind.MEMORY_PRESSURE_SPIKE, name,
+                    f"-{fraction:.0%} capacity for {duration} ms",
+                    payload=(fraction,),
+                ))
+                events.append(FleetEvent(
+                    start + duration, FleetEventKind.MEMORY_PRESSURE_END,
+                    name, payload=(fraction,),
+                ))
+        # Rack-sized partition groups of consecutive hosts.
+        for index in range(0, len(host_names), self.partition_group):
+            members = tuple(host_names[index:index + self.partition_group])
+            group = f"group{index // self.partition_group}"
+            if self._hits(FaultKind.NETWORK_PARTITION, group):
+                start, duration = self._window(
+                    FaultKind.NETWORK_PARTITION, group, 0.2
+                )
+                events.append(FleetEvent(
+                    start, FleetEventKind.NETWORK_PARTITION, group,
+                    f"{len(members)} host(s) unreachable for {duration} ms",
+                    payload=members,
+                ))
+                events.append(FleetEvent(
+                    start + duration, FleetEventKind.NETWORK_HEAL, group,
+                    payload=members,
+                ))
+        events.sort(key=lambda event: (event.at_ms, event.kind.value,
+                                       event.subject))
+        return events
+
+    def should_abort_migration(self, vm_name: str, attempt: int) -> bool:
+        """Online MIGRATION_ABORT decider, pure in (vm, attempt)."""
+        rate = self.plan.rates.rate_of(FaultKind.MIGRATION_ABORT)
+        if rate <= 0.0:
+            return False
+        draw = self.plan.stream(
+            "fleet", FaultKind.MIGRATION_ABORT.value, vm_name, attempt
+        ).random()
+        return draw < rate
+
+    def fingerprint_parts(self):
+        return (
+            "ChaosEngine",
+            self.plan.fingerprint_parts(),
+            self.horizon_ms,
+            self.partition_group,
+        )

@@ -1,0 +1,657 @@
+"""The self-healing datacenter control loop.
+
+One :class:`FleetController` owns the whole fleet timeline: it pops
+scheduled events — VM arrivals and the chaos engine's fault schedule —
+in deterministic time order, reacts to each, and keeps the fleet's
+bookkeeping invariants intact:
+
+* **host crash** — every VM on the host is orphaned and re-placed via
+  the (sharing-aware) policy; what cannot fit right now waits in the
+  pending queue and is retried whenever capacity returns.  Evacuation
+  latency is the simulated time from crash to the VM running again.
+* **host degraded** — the host stops accepting placements and its VMs
+  are drained away over live migration (pre-copy rounds priced by each
+  VM's dirty rate, aborts retried with bounded backoff, atomic
+  commit-or-rollback).
+* **memory pressure spike** — the host's admission capacity shrinks;
+  the controller migrates the smallest VMs off until the commitment
+  fits again (and degrades gracefully — VMs keep running — when the
+  fleet has nowhere to put them).
+* **network partition** — partitioned hosts keep their VMs but are
+  invisible to the control plane: no placements or migrations touch
+  them and the savings report carries [lower, upper] bounds until the
+  partition heals.
+* **admission control** — arrivals that cannot be placed are *queued*
+  (with a structured reason) while capacity is merely offline, and
+  *rejected* when the surviving fleet could never hold them.
+
+After every injected fault the fleet invariants
+(:func:`repro.core.validate.validate_fleet`) are re-checked; a chaos
+run that ends with a non-empty violation list is a failed run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.validate import Finding, Severity, validate_fleet
+from repro.datacenter.chaos import ChaosEngine
+from repro.datacenter.events import (
+    EventQueue,
+    FleetEvent,
+    FleetEventKind,
+)
+from repro.datacenter.fleet import (
+    Fleet,
+    FleetHost,
+    FleetPlacementPolicy,
+    FleetSavings,
+    FleetVm,
+    HostState,
+    ImageCatalog,
+    POLICIES,
+    generate_arrivals,
+)
+from repro.datacenter.migration import (
+    LiveMigrator,
+    MigrationConfig,
+    MigrationResult,
+)
+from repro.exec.fingerprint import fingerprint_hex
+from repro.exec.runner import ParallelRunner
+from repro.units import DEFAULT_PAGE_SIZE, GiB
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the control loop."""
+
+    #: Simulated time to restart an evacuated VM on its new host.
+    restart_ms: int = 2000
+    #: Rebalance toward a recovered host when the committed-fraction
+    #: spread between it and the most-loaded host exceeds this.
+    rebalance_spread: float = 0.5
+    #: Cap on rebalancing migrations per recovery event.
+    max_rebalance_moves: int = 2
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
+    #: Re-run the fleet invariants after every injected fault.
+    validate_after_chaos: bool = True
+
+
+@dataclass
+class MigrationStats:
+    committed: int = 0
+    failed: int = 0
+    aborted_attempts: int = 0
+    copied_pages: int = 0
+    total_ms: int = 0
+
+    def absorb(self, result: MigrationResult) -> None:
+        if result.committed:
+            self.committed += 1
+        else:
+            self.failed += 1
+        self.aborted_attempts += result.aborted_attempts
+        self.copied_pages += result.copied_pages
+        self.total_ms += result.duration_ms
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "committed": self.committed,
+            "failed": self.failed,
+            "aborted_attempts": self.aborted_attempts,
+            "copied_pages": self.copied_pages,
+            "total_ms": self.total_ms,
+        }
+
+
+@dataclass
+class FleetRunResult:
+    """Everything one chaos run produced."""
+
+    fleet: Fleet
+    policy: str
+    horizon_ms: int
+    admitted: int = 0
+    queued_final: int = 0
+    rejected: int = 0
+    rejection_reasons: Counter = field(default_factory=Counter)
+    queue_reasons: Counter = field(default_factory=Counter)
+    placements_retried: int = 0
+    evacuation_latencies_ms: List[int] = field(default_factory=list)
+    migrations: MigrationStats = field(default_factory=MigrationStats)
+    violations: List[Finding] = field(default_factory=list)
+    savings: Optional[FleetSavings] = None
+    baseline_saved_bytes: Optional[int] = None
+
+    @property
+    def faults_injected(self) -> int:
+        return self.fleet.log.fault_count()
+
+    def placement_fingerprint(self) -> str:
+        """Stable identity of the final placement (serial == parallel)."""
+        return fingerprint_hex(
+            "fleet-placement",
+            tuple(sorted(self.fleet.placements.items())),
+            tuple(sorted(
+                (vm.name, vm.state.value) for vm in self.fleet.vms.values()
+            )),
+        )
+
+    def extra_vm_capacity(self) -> int:
+        """How many average-sized VMs the saved memory could hold."""
+        if self.savings is None or not self.fleet.vms:
+            return 0
+        mean = self.fleet.admitted_bytes() // max(1, len(self.fleet.vms))
+        return self.savings.lower_bytes // max(1, mean)
+
+    def as_dict(self) -> Dict[str, object]:
+        evac = self.evacuation_latencies_ms
+        data: Dict[str, object] = {
+            "hosts": len(self.fleet.hosts),
+            "vms": len(self.fleet.vms),
+            "policy": self.policy,
+            "horizon_ms": self.horizon_ms,
+            "events": self.fleet.log.counts(),
+            "faults_injected": self.faults_injected,
+            "admitted": self.admitted,
+            "queued_final": self.queued_final,
+            "rejected": self.rejected,
+            "queue_reasons": dict(sorted(self.queue_reasons.items())),
+            "rejection_reasons": dict(
+                sorted(self.rejection_reasons.items())
+            ),
+            "placements_retried": self.placements_retried,
+            "evacuations": {
+                "count": len(evac),
+                "mean_latency_ms": (
+                    round(sum(evac) / len(evac), 3) if evac else 0.0
+                ),
+                "max_latency_ms": max(evac) if evac else 0,
+            },
+            "migrations": self.migrations.as_dict(),
+            "violations": len(self.violations),
+            "placement_fingerprint": self.placement_fingerprint(),
+        }
+        if self.savings is not None:
+            data["savings"] = self.savings.as_dict()
+            data["extra_vm_capacity"] = self.extra_vm_capacity()
+        if self.baseline_saved_bytes is not None:
+            data["baseline_first_fit_saved_bytes"] = (
+                self.baseline_saved_bytes
+            )
+            if self.savings is not None:
+                data["saved_vs_first_fit_bytes"] = (
+                    self.savings.lower_bytes - self.baseline_saved_bytes
+                )
+        return data
+
+
+class FleetController:
+    """Drives one fleet through arrivals and chaos, self-healing."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        policy: FleetPlacementPolicy,
+        chaos: Optional[ChaosEngine] = None,
+        config: Optional[ControllerConfig] = None,
+        runner: Optional[ParallelRunner] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.policy = policy
+        self.chaos = chaos
+        self.config = config if config is not None else ControllerConfig()
+        self.runner = runner
+        self.migrator = LiveMigrator(
+            fleet,
+            self.config.migration,
+            chaos.should_abort_migration if chaos is not None else None,
+        )
+        self._place_attempts: Counter = Counter()
+        self._orphaned_at_ms: Dict[str, int] = {}
+        self._pressure_applied: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, arrivals: List[FleetEvent], horizon_ms: int
+    ) -> FleetRunResult:
+        fleet = self.fleet
+        result = FleetRunResult(
+            fleet=fleet, policy=self.policy.name, horizon_ms=horizon_ms
+        )
+        queue = EventQueue()
+        queue.push_all(arrivals)
+        if self.chaos is not None:
+            queue.push_all(self.chaos.schedule(
+                [host.name for host in fleet.hosts]
+            ))
+        while queue:
+            event = queue.pop()
+            if event.at_ms > fleet.clock.now_ms:
+                fleet.clock.advance_to(event.at_ms)
+            self._apply(event, result)
+        # Final pass: whatever is still pending gets one last chance.
+        self._heal(fleet.clock.now_ms, result)
+        result.queued_final = len(fleet.pending_vms())
+        self._validate(result)
+        result.savings = fleet.savings(self.runner)
+        if result.savings.lower_bytes < 0 or (
+            result.savings.upper_bytes < result.savings.lower_bytes
+        ):
+            # Belt and braces: the analytic model cannot go negative,
+            # but the invariant is part of the contract.
+            result.violations.append(Finding(
+                severity=Severity.ERROR,
+                code="fleet-negative-savings",
+                vm_name="",
+                message="fleet sharing savings went negative or inverted",
+            ))
+        return result
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: FleetEvent, result: FleetRunResult) -> None:
+        fleet = self.fleet
+        now = fleet.clock.now_ms
+        kind = event.kind
+        if kind is FleetEventKind.VM_ARRIVAL:
+            self._on_arrival(event, result)
+            return
+        # Chaos events are logged as injected, then reacted to.
+        fleet.log.record(
+            now, kind, event.subject, event.detail, event.payload
+        )
+        if kind is FleetEventKind.HOST_CRASH:
+            self._on_crash(event, result)
+        elif kind is FleetEventKind.HOST_RECOVERED:
+            self._on_recovered(event, result)
+        elif kind is FleetEventKind.HOST_DEGRADED:
+            self._on_degraded(event, result)
+        elif kind is FleetEventKind.HOST_RESTORED:
+            self._on_restored(event, result)
+        elif kind is FleetEventKind.MEMORY_PRESSURE_SPIKE:
+            self._on_pressure(event, result)
+        elif kind is FleetEventKind.MEMORY_PRESSURE_END:
+            self._on_pressure_end(event, result)
+        elif kind is FleetEventKind.NETWORK_PARTITION:
+            self._on_partition(event, result)
+        elif kind is FleetEventKind.NETWORK_HEAL:
+            self._on_heal_partition(event, result)
+        if (
+            self.config.validate_after_chaos
+            and kind in (
+                FleetEventKind.HOST_CRASH,
+                FleetEventKind.HOST_DEGRADED,
+                FleetEventKind.MEMORY_PRESSURE_SPIKE,
+                FleetEventKind.NETWORK_PARTITION,
+            )
+        ):
+            self._validate(result)
+
+    def _validate(self, result: FleetRunResult) -> None:
+        report = validate_fleet(self.fleet)
+        if not report.ok:
+            result.violations.extend(report.findings)
+
+    # ------------------------------------------------------------------
+    # Arrivals and placement
+    # ------------------------------------------------------------------
+
+    def _on_arrival(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        now = fleet.clock.now_ms
+        image = fleet.catalog.by_name[event.payload[0]]
+        vm = fleet.admit(event.subject, image)
+        placed = self._try_place(vm, now, result)
+        if placed:
+            result.admitted += 1
+            return
+        # Queue while capacity is merely offline; reject outright when
+        # the surviving fleet could never hold this VM.
+        offline = fleet.offline_capacity_bytes()
+        if offline >= vm.memory_bytes:
+            reason = (
+                f"awaiting-capacity: {offline >> 20} MiB offline "
+                "(host down, draining or partitioned)"
+            )
+            result.admitted += 1
+            result.queue_reasons[
+                "awaiting-offline-capacity"
+            ] += 1
+            fleet.log.record(
+                now, FleetEventKind.VM_QUEUED, vm.name, reason
+            )
+            return
+        reason = (
+            f"insufficient-capacity: need {vm.memory_bytes >> 20} MiB, "
+            "no surviving host can take it"
+        )
+        del fleet.vms[vm.name]
+        fleet.rejected_bytes += vm.memory_bytes
+        result.rejected += 1
+        result.rejection_reasons["insufficient-capacity"] += 1
+        fleet.log.record(
+            now, FleetEventKind.VM_REJECTED, vm.name, reason
+        )
+
+    def _try_place(
+        self, vm: FleetVm, now: int, result: FleetRunResult
+    ) -> bool:
+        fleet = self.fleet
+        self._place_attempts[vm.name] += 1
+        attempt = self._place_attempts[vm.name]
+        if attempt > 1:
+            result.placements_retried += 1
+        host = self.policy.choose(fleet, vm)
+        if host is None:
+            return False
+        fleet.place_vm(vm, host)
+        fleet.log.record(
+            now, FleetEventKind.VM_PLACED, vm.name,
+            f"on {host.name} (attempt {attempt})",
+        )
+        orphaned_at = self._orphaned_at_ms.pop(vm.name, None)
+        if orphaned_at is not None:
+            latency = now - orphaned_at + self.config.restart_ms
+            result.evacuation_latencies_ms.append(latency)
+            fleet.log.record(
+                now, FleetEventKind.VM_EVACUATED, vm.name,
+                f"to {host.name}, latency {latency} ms",
+            )
+        return True
+
+    def _heal(self, now: int, result: FleetRunResult) -> None:
+        """Retry everything pending, in deterministic name order."""
+        for vm in sorted(self.fleet.pending_vms(), key=lambda v: v.name):
+            self._try_place(vm, now, result)
+
+    # ------------------------------------------------------------------
+    # Host faults
+    # ------------------------------------------------------------------
+
+    def _on_crash(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        now = fleet.clock.now_ms
+        host = fleet.host_by_name[event.subject]
+        host.state = HostState.DOWN
+        victims = sorted(host.vms.values(), key=lambda vm: vm.name)
+        for vm in victims:
+            fleet.orphan_vm(vm)
+            self._orphaned_at_ms[vm.name] = now
+        # Evacuation latency is recorded when each orphan lands; what
+        # cannot land now stays pending for later heals.
+        self._heal(now, result)
+
+    def _on_recovered(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        host = fleet.host_by_name[event.subject]
+        if host.state is HostState.DOWN:
+            host.state = HostState.UP
+        self._heal(fleet.clock.now_ms, result)
+        self._rebalance_into(host, result)
+
+    def _on_degraded(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        host = fleet.host_by_name[event.subject]
+        if host.state is not HostState.UP:
+            return
+        host.state = HostState.DEGRADED
+        self._drain(host, result)
+
+    def _on_restored(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        host = fleet.host_by_name[event.subject]
+        if host.state is HostState.DEGRADED:
+            host.state = HostState.UP
+        self._heal(fleet.clock.now_ms, result)
+
+    def _drain(self, host: FleetHost, result: FleetRunResult) -> None:
+        """Live-migrate every VM off a degraded host (best effort)."""
+        for vm in sorted(host.vms.values(), key=lambda v: v.name):
+            dest = self.policy.choose(self.fleet, vm)
+            if dest is None:
+                break  # nowhere to drain to; remaining VMs stay put
+            self._migrate(vm, dest, result)
+
+    def _migrate(
+        self, vm: FleetVm, dest: FleetHost, result: FleetRunResult
+    ) -> MigrationResult:
+        fleet = self.fleet
+        now = fleet.clock.now_ms
+        outcome = self.migrator.migrate(vm, dest)
+        result.migrations.absorb(outcome)
+        for attempt in range(outcome.aborted_attempts):
+            fleet.log.record(
+                now, FleetEventKind.MIGRATION_ABORTED, vm.name,
+                f"attempt {attempt + 1} aborted mid-copy "
+                f"({outcome.source} -> {outcome.dest})",
+            )
+        if outcome.committed:
+            fleet.log.record(
+                now, FleetEventKind.MIGRATION_COMMITTED, vm.name,
+                f"{outcome.source} -> {outcome.dest} in "
+                f"{len(outcome.rounds)} round(s), "
+                f"{outcome.copied_pages} pages, "
+                f"{outcome.duration_ms} ms",
+            )
+        else:
+            fleet.log.record(
+                now, FleetEventKind.MIGRATION_FAILED, vm.name,
+                f"{outcome.source} -> {outcome.dest}: every attempt "
+                "aborted; VM stays on source",
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Pressure and partitions
+    # ------------------------------------------------------------------
+
+    def _on_pressure(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        host = fleet.host_by_name[event.subject]
+        fraction = float(event.payload[0])
+        amount = int(host.capacity_bytes * fraction)
+        host.pressure_bytes += amount
+        self._pressure_applied[event.subject] = amount
+        self._relieve(host, result)
+
+    def _on_pressure_end(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        fleet = self.fleet
+        host = fleet.host_by_name[event.subject]
+        amount = self._pressure_applied.pop(event.subject, 0)
+        host.pressure_bytes = max(0, host.pressure_bytes - amount)
+        self._heal(fleet.clock.now_ms, result)
+
+    def _relieve(self, host: FleetHost, result: FleetRunResult) -> None:
+        """Migrate the smallest VMs off an over-pressured host."""
+        if host.state is not HostState.UP:
+            return
+        while (
+            host.committed_bytes + host.reserved_bytes
+            > host.effective_capacity_bytes
+            and host.vms
+        ):
+            vm = min(
+                host.vms.values(),
+                key=lambda v: (v.memory_bytes, v.name),
+            )
+            dest = self.policy.choose(self.fleet, vm)
+            if dest is None or dest.name == host.name:
+                break  # graceful degradation: VMs keep running
+            outcome = self._migrate(vm, dest, result)
+            if not outcome.committed:
+                break
+
+    def _on_partition(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        for name in event.payload:
+            host = self.fleet.host_by_name[name]
+            if host.state in (HostState.UP, HostState.DEGRADED):
+                host.state = HostState.PARTITIONED
+
+    def _on_heal_partition(
+        self, event: FleetEvent, result: FleetRunResult
+    ) -> None:
+        for name in event.payload:
+            host = self.fleet.host_by_name[name]
+            if host.state is HostState.PARTITIONED:
+                host.state = HostState.UP
+        self._heal(self.fleet.clock.now_ms, result)
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+
+    def _rebalance_into(
+        self, target: FleetHost, result: FleetRunResult
+    ) -> None:
+        """Move load onto a freshly recovered (empty) host."""
+        if target.state is not HostState.UP:
+            return
+        fleet = self.fleet
+        for _ in range(self.config.max_rebalance_moves):
+            loaded = max(
+                (
+                    host for host in fleet.hosts
+                    if host.state is HostState.UP and host.vms
+                    and host.name != target.name
+                ),
+                key=lambda host: (
+                    host.committed_bytes / host.capacity_bytes, host.name
+                ),
+                default=None,
+            )
+            if loaded is None:
+                return
+            spread = (
+                loaded.committed_bytes / loaded.capacity_bytes
+                - target.committed_bytes / target.capacity_bytes
+            )
+            if spread <= self.config.rebalance_spread:
+                return
+            vm = min(
+                loaded.vms.values(),
+                key=lambda v: (v.memory_bytes, v.name),
+            )
+            if not target.accepts(vm.memory_bytes):
+                return
+            outcome = self._migrate(vm, target, result)
+            if outcome.committed:
+                fleet.log.record(
+                    fleet.clock.now_ms, FleetEventKind.REBALANCE_MOVE,
+                    vm.name, f"{loaded.name} -> {target.name}",
+                )
+            else:
+                return
+
+
+# ----------------------------------------------------------------------
+# Scenario entry point (CLI, benchmarks, tests)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Everything a seeded fleet chaos run depends on."""
+
+    host_count: int = 50
+    vm_count: int = 200
+    host_ram_bytes: int = 16 * GiB
+    seed: int = 20130421
+    policy: str = "sharing-aware"
+    chaos_spec: Optional[str] = None
+    horizon_ms: int = 30 * 60_000
+    image_count: int = 8
+    family_count: int = 3
+    partition_group: int = 8
+    page_size: int = DEFAULT_PAGE_SIZE
+    compare_first_fit: bool = True
+
+    def fingerprint_parts(self):
+        return tuple(
+            (name, getattr(self, name))
+            for name in self.__dataclass_fields__
+        )
+
+
+def run_fleet_scenario(
+    scenario: FleetScenario,
+    jobs: Optional[int] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> FleetRunResult:
+    """Build the fleet, run the chaos timeline, report savings + bounds.
+
+    Pure function of the scenario (and of nothing else): the same
+    scenario yields the same final placement and the same report at any
+    ``jobs`` value.
+    """
+    if scenario.policy not in POLICIES:
+        raise ValueError(
+            f"unknown fleet policy {scenario.policy!r} "
+            f"(choose from {sorted(POLICIES)})"
+        )
+    runner = runner if runner is not None else ParallelRunner(jobs=jobs)
+    catalog = ImageCatalog.generate(
+        scenario.seed,
+        image_count=scenario.image_count,
+        family_count=scenario.family_count,
+        page_size=scenario.page_size,
+    )
+    arrival_window = max(1, scenario.horizon_ms // 2)
+
+    def build_and_run(policy_name: str, with_chaos: bool) -> FleetRunResult:
+        fleet = Fleet(
+            scenario.host_count,
+            scenario.host_ram_bytes,
+            catalog,
+            seed=scenario.seed,
+            page_size=scenario.page_size,
+        )
+        chaos = None
+        if with_chaos and scenario.chaos_spec is not None:
+            chaos = ChaosEngine.from_spec(
+                scenario.chaos_spec,
+                scenario.horizon_ms,
+                partition_group=scenario.partition_group,
+            )
+        arrivals = generate_arrivals(
+            catalog, scenario.vm_count, scenario.seed, arrival_window
+        )
+        controller = FleetController(
+            fleet,
+            POLICIES[policy_name](),
+            chaos=chaos,
+            runner=runner,
+        )
+        return controller.run(arrivals, scenario.horizon_ms)
+
+    result = build_and_run(scenario.policy, with_chaos=True)
+    if scenario.compare_first_fit and scenario.policy != "first-fit":
+        # Same arrivals, same chaos schedule (it depends only on host
+        # names), different placement policy: the delta isolates what
+        # sharing-aware placement is worth under identical faults.
+        baseline = build_and_run("first-fit", with_chaos=True)
+        assert baseline.savings is not None
+        result.baseline_saved_bytes = baseline.savings.lower_bytes
+    return result

@@ -1,0 +1,168 @@
+"""Fleet events: the timeline of everything that happens to a datacenter.
+
+Two structures share one event vocabulary:
+
+* :class:`EventQueue` — the *future*: chaos faults and VM arrivals
+  scheduled on the sim clock, popped in deterministic
+  ``(time, sequence)`` order;
+* :class:`EventLog` — the *past*: an append-only record of every fault
+  injected and every control-loop reaction (placements, evacuations,
+  migrations, admission decisions), which the fleet report and the CI
+  smoke job aggregate.
+
+Events are plain data — a kind, a timestamp, the entity they concern
+and a human-readable detail — so the log serializes directly into
+``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class FleetEventKind(enum.Enum):
+    """Everything the fleet timeline can record."""
+
+    # Scheduled inputs (chaos faults + workload).
+    VM_ARRIVAL = "vm-arrival"
+    HOST_CRASH = "host-crash"
+    HOST_RECOVERED = "host-recovered"
+    HOST_DEGRADED = "host-degraded"
+    HOST_RESTORED = "host-restored"
+    MEMORY_PRESSURE_SPIKE = "memory-pressure-spike"
+    MEMORY_PRESSURE_END = "memory-pressure-end"
+    NETWORK_PARTITION = "network-partition"
+    NETWORK_HEAL = "network-heal"
+    # Control-loop reactions.
+    VM_PLACED = "vm-placed"
+    VM_QUEUED = "vm-queued"
+    VM_REJECTED = "vm-rejected"
+    VM_EVACUATED = "vm-evacuated"
+    MIGRATION_COMMITTED = "migration-committed"
+    MIGRATION_ABORTED = "migration-aborted"
+    MIGRATION_FAILED = "migration-failed"
+    REBALANCE_MOVE = "rebalance-move"
+
+
+#: Event kinds that are injected faults (the chaos engine's output).
+FAULT_EVENT_KINDS = (
+    FleetEventKind.HOST_CRASH,
+    FleetEventKind.HOST_DEGRADED,
+    FleetEventKind.MEMORY_PRESSURE_SPIKE,
+    FleetEventKind.NETWORK_PARTITION,
+    FleetEventKind.MIGRATION_ABORTED,
+)
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One thing that happens (or is scheduled to happen) at ``at_ms``.
+
+    ``subject`` names the entity concerned — a host for host faults, a
+    VM for arrivals/placements/migrations.  ``payload`` carries the
+    kind-specific parameters (crash repair time, pressure magnitude,
+    partition members, …) as primitives so events stay picklable and
+    JSON-serializable.
+    """
+
+    at_ms: int
+    kind: FleetEventKind
+    subject: str
+    detail: str = ""
+    payload: Tuple = ()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "at_ms": self.at_ms,
+            "kind": self.kind.value,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+
+class EventQueue:
+    """A deterministic time-ordered queue of scheduled events.
+
+    Ties on the timestamp break on insertion sequence, so two runs that
+    schedule the same events in the same order always pop them in the
+    same order — regardless of heap internals.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, FleetEvent]] = []
+        self._seq = 0
+
+    def push(self, event: FleetEvent) -> None:
+        heapq.heappush(self._heap, (event.at_ms, self._seq, event))
+        self._seq += 1
+
+    def push_all(self, events: Iterable[FleetEvent]) -> None:
+        for event in events:
+            self.push(event)
+
+    def pop(self) -> FleetEvent:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class EventLog:
+    """Append-only record of the fleet timeline."""
+
+    events: List[FleetEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        at_ms: int,
+        kind: FleetEventKind,
+        subject: str,
+        detail: str = "",
+        payload: Tuple = (),
+    ) -> FleetEvent:
+        event = FleetEvent(at_ms, kind, subject, detail, payload)
+        self.events.append(event)
+        return event
+
+    def counts(self) -> Dict[str, int]:
+        """Event tally by kind value, sorted by kind for stable JSON."""
+        tally = Counter(event.kind.value for event in self.events)
+        return {kind: tally[kind] for kind in sorted(tally)}
+
+    def by_kind(self, kind: FleetEventKind) -> List[FleetEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def fault_count(self) -> int:
+        """How many injected faults the log has seen."""
+        return sum(
+            1 for event in self.events if event.kind in FAULT_EVENT_KINDS
+        )
+
+    def render(self, limit: int = 0) -> str:
+        lines = ["Fleet event log", "==============="]
+        shown = self.events if limit <= 0 else self.events[:limit]
+        for event in shown:
+            lines.append(
+                f"  [{event.at_ms:>9} ms] {event.kind.value:<22} "
+                f"{event.subject:<12} {event.detail}"
+            )
+        hidden = len(self.events) - len(shown)
+        if hidden > 0:
+            lines.append(f"  … {hidden} more event(s)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -77,10 +77,16 @@ class MemoryFingerprint:
             # Saturated filter: the formula diverges; cap at the bit
             # count, which keeps host rankings finite and comparable.
             return float(self.bits)
-        return (
+        estimate = (
             -self.bits / self.hashes
             * math.log(1.0 - set_bits / self.bits)
         )
+        # Guard the estimator's edges: floating-point noise near an
+        # empty or nearly saturated filter must not leak NaN or a
+        # negative cardinality into placement scores.
+        if math.isnan(estimate) or estimate < 0.0:
+            return 0.0
+        return estimate
 
     def union(self, other: "MemoryFingerprint") -> "MemoryFingerprint":
         self._check_compatible(other)
@@ -94,13 +100,18 @@ class MemoryFingerprint:
         """Estimated number of distinct tokens present in both filters.
 
         |A ∩ B| ≈ |A| + |B| − |A ∪ B|, each term estimated from fill
-        ratios.  Clamped at zero: small filters can go slightly negative.
+        ratios.  Clamped into [0, min(|A|, |B|)]: small filters can go
+        slightly negative, saturated ones can overshoot, and an
+        intersection can never exceed either operand.
         """
         self._check_compatible(other)
         a = self.estimated_cardinality()
         b = other.estimated_cardinality()
         union = self.union(other).estimated_cardinality()
-        return max(0.0, a + b - union)
+        estimate = a + b - union
+        if math.isnan(estimate) or estimate < 0.0:
+            return 0.0
+        return min(estimate, a, b)
 
     def _check_compatible(self, other: "MemoryFingerprint") -> None:
         if self.bits != other.bits or self.hashes != other.hashes:

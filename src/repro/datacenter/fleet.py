@@ -1,0 +1,618 @@
+"""A lightweight fleet model: thousands of hosts, tens of thousands of VMs.
+
+The full :class:`repro.datacenter.placement.Datacenter` boots a real
+guest kernel and JVM per VM — perfect for paper-scale experiments (4–9
+VMs), hopeless for a 1000-host chaos run.  This module models the same
+placement problem at fleet scale by *summarizing* each VM image instead
+of simulating it:
+
+* a :class:`VmImage` carries the content summary the control plane
+  actually uses — the set of shareable page-content tokens (each token
+  standing for a run of identical-across-instances pages), the private
+  page count, and a PML-style dirty-rate estimate that prices live
+  migration pre-copy rounds (Bitchebe et al., PAPERS.md);
+* image similarity is estimated exactly the way the small-scale
+  ``SharingAwarePolicy`` does it — Bloom-filter
+  :class:`~repro.datacenter.fingerprint.MemoryFingerprint` reference
+  fingerprints per image, intersected pairwise once — and placement
+  scores hosts incrementally from those similarities;
+* per-host sharing savings are computed analytically from token
+  multiplicities (the fixed point KSM would converge to), and the
+  per-host convergence is fanned out through
+  :class:`repro.exec.runner.ParallelRunner` — bit-identical across
+  worker counts.
+
+Everything is a pure function of the seed: host/VM names, image
+contents, dirty-rate jitter and arrival times all come from
+:class:`repro.sim.rng.RngFactory` streams.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datacenter.events import EventLog, FleetEvent, FleetEventKind
+from repro.datacenter.fingerprint import MemoryFingerprint
+from repro.exec.runner import ParallelRunner, WorkUnit
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngFactory, stable_hash64
+from repro.units import DEFAULT_PAGE_SIZE, MiB
+
+#: Pages represented by one shareable content token (a token stands for
+#: a run of pages that land byte-identical across instances).
+TOKEN_SPAN_PAGES = 32
+
+
+# ----------------------------------------------------------------------
+# Images
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VmImage:
+    """The control plane's summary of one VM image."""
+
+    name: str
+    family: str
+    memory_bytes: int
+    resident_pages: int
+    shared_tokens: Tuple[int, ...]
+    dirty_pages_per_s: float
+
+    @property
+    def shareable_pages(self) -> int:
+        return len(self.shared_tokens) * TOKEN_SPAN_PAGES
+
+    def fingerprint(
+        self, bits: int = 1 << 14, hashes: int = 4
+    ) -> MemoryFingerprint:
+        """Memory Buddies reference fingerprint of this image."""
+        fingerprint = MemoryFingerprint(bits, hashes)
+        fingerprint.add_all(self.shared_tokens)
+        return fingerprint
+
+
+#: Catalog geometry defaults: images per family share a base-token block
+#: (same kernel image, same JVM build) and add their own block.
+_FAMILY_TOKENS = 96
+_OWN_TOKENS = 64
+_MEMORY_CYCLE_MIB = (512, 1024, 768, 2048, 1536, 640, 896, 1280)
+_DIRTY_CYCLE_PAGES_PER_S = (600, 2400, 1100, 3600, 1800, 800, 2900, 1500)
+_RESIDENT_FRACTION = 0.6
+
+
+class ImageCatalog:
+    """All VM images a fleet run draws from, derived from one seed."""
+
+    def __init__(self, images: Sequence[VmImage], spec: Tuple) -> None:
+        if not images:
+            raise ValueError("catalog needs at least one image")
+        self.images: Tuple[VmImage, ...] = tuple(images)
+        self.by_name: Dict[str, VmImage] = {
+            image.name: image for image in self.images
+        }
+        #: The generation arguments; travels with parallel work units so
+        #: workers can rebuild (and cache) the identical catalog.
+        self.spec = spec
+        self._similarity: Optional[Dict[Tuple[str, str], float]] = None
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        image_count: int = 8,
+        family_count: int = 3,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "ImageCatalog":
+        if image_count <= 0 or family_count <= 0:
+            raise ValueError("need at least one image and one family")
+        images = []
+        for index in range(image_count):
+            family = index % family_count
+            family_tokens = tuple(
+                stable_hash64("fleet-image", seed, "family", family, t)
+                for t in range(_FAMILY_TOKENS)
+            )
+            own_tokens = tuple(
+                stable_hash64("fleet-image", seed, "own", index, t)
+                for t in range(_OWN_TOKENS)
+            )
+            memory = _MEMORY_CYCLE_MIB[index % len(_MEMORY_CYCLE_MIB)] * MiB
+            resident = int(memory * _RESIDENT_FRACTION) // page_size
+            images.append(VmImage(
+                name=f"img{index:02d}",
+                family=f"fam{family}",
+                memory_bytes=memory,
+                resident_pages=resident,
+                shared_tokens=family_tokens + own_tokens,
+                dirty_pages_per_s=float(
+                    _DIRTY_CYCLE_PAGES_PER_S[
+                        index % len(_DIRTY_CYCLE_PAGES_PER_S)
+                    ]
+                ),
+            ))
+        return cls(images, spec=(seed, image_count, family_count, page_size))
+
+    @classmethod
+    def from_spec(cls, spec: Tuple) -> "ImageCatalog":
+        return _catalog_from_spec(tuple(spec))
+
+    # ------------------------------------------------------------------
+
+    def similarity(self) -> Dict[Tuple[str, str], float]:
+        """Pairwise estimated shared tokens between image fingerprints.
+
+        Built once per catalog — this is where the Bloom machinery of
+        the small-scale policy enters the fleet: scores come from
+        fingerprint intersections, not from the exact token sets the
+        model happens to know.
+        """
+        if self._similarity is None:
+            fingerprints = {
+                image.name: image.fingerprint() for image in self.images
+            }
+            table: Dict[Tuple[str, str], float] = {}
+            for a in self.images:
+                for b in self.images:
+                    if (b.name, a.name) in table:
+                        table[(a.name, b.name)] = table[(b.name, a.name)]
+                        continue
+                    table[(a.name, b.name)] = fingerprints[
+                        a.name
+                    ].estimate_shared_tokens(fingerprints[b.name])
+            self._similarity = table
+        return self._similarity
+
+
+@functools.lru_cache(maxsize=8)
+def _catalog_from_spec(spec: Tuple) -> ImageCatalog:
+    return ImageCatalog.generate(*spec)
+
+
+# ----------------------------------------------------------------------
+# Hosts and VMs
+# ----------------------------------------------------------------------
+
+
+class HostState(enum.Enum):
+    UP = "up"
+    DEGRADED = "degraded"       # reachable, but being drained
+    DOWN = "down"               # crashed; VMs lost, awaiting repair
+    PARTITIONED = "partitioned"  # unreachable by the control plane
+
+
+class VmState(enum.Enum):
+    RUNNING = "running"
+    MIGRATING = "migrating"     # committed on source, reserved on dest
+    PENDING = "pending"         # admitted but waiting for capacity
+
+
+@dataclass
+class FleetVm:
+    """One admitted VM and where it currently lives."""
+
+    name: str
+    image: VmImage
+    dirty_pages_per_s: float
+    state: VmState = VmState.PENDING
+    host: Optional[str] = None
+    reserved_on: Optional[str] = None
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.image.memory_bytes
+
+
+class FleetHost:
+    """One host's admission bookkeeping (no simulated memory)."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.state = HostState.UP
+        self.committed_bytes = 0
+        self.reserved_bytes = 0
+        #: Transient admission-capacity reduction (pressure spike).
+        self.pressure_bytes = 0
+        self.vms: Dict[str, FleetVm] = {}
+        self.image_counts: Counter = Counter()
+
+    @property
+    def effective_capacity_bytes(self) -> int:
+        return max(0, self.capacity_bytes - self.pressure_bytes)
+
+    @property
+    def free_bytes(self) -> int:
+        return (
+            self.effective_capacity_bytes
+            - self.committed_bytes
+            - self.reserved_bytes
+        )
+
+    def reachable(self) -> bool:
+        return self.state in (HostState.UP, HostState.DEGRADED)
+
+    def accepts(self, memory_bytes: int) -> bool:
+        """Can this host take one more VM of the given size right now?"""
+        return self.state is HostState.UP and self.free_bytes >= memory_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetHost({self.name!r}, {self.state.value}, "
+            f"vms={len(self.vms)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-host sharing convergence (ParallelRunner work units)
+# ----------------------------------------------------------------------
+
+
+def converge_host_savings(
+    catalog_spec: Tuple,
+    image_counts: Tuple[Tuple[str, int], ...],
+    page_size: int,
+) -> int:
+    """Saved bytes on one host once KSM reaches its fixed point.
+
+    Pure function of the arguments (catalog spec + how many VMs of each
+    image are co-located), so it can run in any worker process: every
+    token present ``n`` times across the host's instances merges down
+    to one frame, saving ``(n - 1) * span`` pages.
+    """
+    catalog = ImageCatalog.from_spec(catalog_spec)
+    multiplicity: Counter = Counter()
+    for image_name, count in image_counts:
+        for token in catalog.by_name[image_name].shared_tokens:
+            multiplicity[token] += count
+    duplicated = sum(multiplicity.values()) - len(multiplicity)
+    return duplicated * TOKEN_SPAN_PAGES * page_size
+
+
+# ----------------------------------------------------------------------
+# The fleet
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FleetSavings:
+    """Fleet-wide sharing savings, bounded under degraded visibility.
+
+    ``lower_bytes`` counts only hosts the control plane can reach;
+    ``upper_bytes`` adds the last-known savings of partitioned hosts.
+    With every host reachable the two coincide.
+    """
+
+    lower_bytes: int
+    upper_bytes: int
+    reachable_hosts: int
+    unreachable_hosts: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "saved_bytes_lower": self.lower_bytes,
+            "saved_bytes_upper": self.upper_bytes,
+            "reachable_hosts": self.reachable_hosts,
+            "unreachable_hosts": self.unreachable_hosts,
+        }
+
+
+class Fleet:
+    """Hosts + admitted VMs + the bookkeeping invariants hang off of.
+
+    All mutation goes through the ``place_vm`` / ``orphan_vm`` /
+    ``remove_vm`` / reservation methods so that
+    :func:`repro.core.validate.validate_fleet` can hold the state to a
+    closed set of invariants after every chaos event.
+    """
+
+    def __init__(
+        self,
+        host_count: int,
+        host_ram_bytes: int,
+        catalog: ImageCatalog,
+        seed: int = 20130421,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if host_count <= 0:
+            raise ValueError("need at least one host")
+        self.catalog = catalog
+        self.page_size = page_size
+        self.rng = RngFactory(seed).derive("fleet")
+        self.clock = SimClock()
+        self.log = EventLog()
+        width = max(4, len(str(host_count)))
+        self.hosts: List[FleetHost] = [
+            FleetHost(f"h{index:0{width}d}", host_ram_bytes)
+            for index in range(host_count)
+        ]
+        self.host_by_name: Dict[str, FleetHost] = {
+            host.name: host for host in self.hosts
+        }
+        self.vms: Dict[str, FleetVm] = {}
+        self.placements: Dict[str, str] = {}
+        #: image name -> {host name: True} (an insertion-ordered set) —
+        #: the candidate index the sharing-aware policy walks.
+        self.hosts_by_image: Dict[str, Dict[str, bool]] = {
+            image.name: {} for image in catalog.images
+        }
+        self.rejected_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Admission and placement bookkeeping
+    # ------------------------------------------------------------------
+
+    def admit(self, name: str, image: VmImage) -> FleetVm:
+        """Register an arriving VM (not yet placed anywhere)."""
+        if name in self.vms:
+            raise ValueError(f"VM {name!r} already admitted")
+        jitter = 0.75 + 0.5 * self.rng.stream("dirty", name).random()
+        vm = FleetVm(
+            name=name,
+            image=image,
+            dirty_pages_per_s=image.dirty_pages_per_s * jitter,
+        )
+        self.vms[name] = vm
+        return vm
+
+    def place_vm(self, vm: FleetVm, host: FleetHost) -> None:
+        if vm.host is not None:
+            raise ValueError(f"VM {vm.name!r} is already on {vm.host!r}")
+        if not host.accepts(vm.memory_bytes):
+            raise ValueError(
+                f"{host.name} cannot accept {vm.name} "
+                f"({vm.memory_bytes >> 20} MiB)"
+            )
+        host.vms[vm.name] = vm
+        host.committed_bytes += vm.memory_bytes
+        host.image_counts[vm.image.name] += 1
+        self.hosts_by_image[vm.image.name][host.name] = True
+        self.placements[vm.name] = host.name
+        vm.host = host.name
+        vm.state = VmState.RUNNING
+
+    def orphan_vm(self, vm: FleetVm) -> None:
+        """Detach a VM from its host (crash evacuation): back to PENDING."""
+        if vm.host is None:
+            return
+        host = self.host_by_name[vm.host]
+        del host.vms[vm.name]
+        host.committed_bytes -= vm.memory_bytes
+        host.image_counts[vm.image.name] -= 1
+        if host.image_counts[vm.image.name] <= 0:
+            del host.image_counts[vm.image.name]
+            self.hosts_by_image[vm.image.name].pop(host.name, None)
+        self.placements.pop(vm.name, None)
+        vm.host = None
+        vm.state = VmState.PENDING
+
+    # -- migration bookkeeping (two-phase) ------------------------------
+
+    def reserve(self, vm: FleetVm, dest: FleetHost) -> None:
+        if vm.reserved_on is not None:
+            raise ValueError(f"{vm.name} already holds a reservation")
+        if not dest.accepts(vm.memory_bytes):
+            raise ValueError(f"{dest.name} cannot reserve for {vm.name}")
+        dest.reserved_bytes += vm.memory_bytes
+        vm.reserved_on = dest.name
+        vm.state = VmState.MIGRATING
+
+    def release_reservation(self, vm: FleetVm) -> None:
+        """Roll a migration back: the VM stays where it was."""
+        if vm.reserved_on is None:
+            return
+        dest = self.host_by_name[vm.reserved_on]
+        dest.reserved_bytes -= vm.memory_bytes
+        vm.reserved_on = None
+        vm.state = VmState.RUNNING
+
+    def commit_migration(self, vm: FleetVm) -> None:
+        """Atomically move the VM onto its reserved destination."""
+        if vm.reserved_on is None or vm.host is None:
+            raise ValueError(f"{vm.name} has no migration in flight")
+        dest = self.host_by_name[vm.reserved_on]
+        dest.reserved_bytes -= vm.memory_bytes
+        vm.reserved_on = None
+        self.orphan_vm(vm)
+        self.place_vm(vm, dest)
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    def pending_vms(self) -> List[FleetVm]:
+        return [
+            vm for vm in self.vms.values() if vm.state is VmState.PENDING
+        ]
+
+    def admitted_bytes(self) -> int:
+        return sum(vm.memory_bytes for vm in self.vms.values())
+
+    def committed_bytes(self) -> int:
+        return sum(host.committed_bytes for host in self.hosts)
+
+    def offline_capacity_bytes(self) -> int:
+        """Capacity currently invisible or closed to the control plane."""
+        return sum(
+            host.capacity_bytes
+            for host in self.hosts
+            if host.state is not HostState.UP
+        )
+
+    # ------------------------------------------------------------------
+    # Sharing convergence (the ParallelRunner fan-out)
+    # ------------------------------------------------------------------
+
+    def host_savings_units(self) -> List[Tuple[str, WorkUnit]]:
+        """One convergence work unit per occupied host, in host order."""
+        units = []
+        for host in self.hosts:
+            if not host.image_counts:
+                continue
+            counts = tuple(sorted(host.image_counts.items()))
+            units.append((
+                host.name,
+                WorkUnit(
+                    fn=converge_host_savings,
+                    args=(self.catalog.spec, counts, self.page_size),
+                    label=f"converge:{host.name}",
+                ),
+            ))
+        return units
+
+    def savings_by_host(
+        self, runner: Optional[ParallelRunner] = None
+    ) -> Dict[str, int]:
+        """Converged saved bytes per occupied host (order-stable)."""
+        named = self.host_savings_units()
+        if not named:
+            return {}
+        runner = runner if runner is not None else ParallelRunner(jobs=1)
+        results = runner.map_chunked([unit for _, unit in named])
+        return {name: saved for (name, _), saved in zip(named, results)}
+
+    def savings(
+        self, runner: Optional[ParallelRunner] = None
+    ) -> FleetSavings:
+        per_host = self.savings_by_host(runner)
+        lower = 0
+        upper = 0
+        unreachable = 0
+        for host in self.hosts:
+            saved = per_host.get(host.name, 0)
+            if host.reachable():
+                lower += saved
+                upper += saved
+            else:
+                unreachable += 1
+                upper += saved
+        return FleetSavings(
+            lower_bytes=lower,
+            upper_bytes=upper,
+            reachable_hosts=len(self.hosts) - unreachable,
+            unreachable_hosts=unreachable,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet(hosts={len(self.hosts)}, vms={len(self.vms)}, "
+            f"t={self.clock.now_ms} ms)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Placement policies
+# ----------------------------------------------------------------------
+
+
+class FleetPlacementPolicy:
+    """Chooses a host for a VM; ``None`` when nothing can take it."""
+
+    name = "abstract"
+
+    def choose(self, fleet: Fleet, vm: FleetVm) -> Optional[FleetHost]:
+        raise NotImplementedError
+
+
+class FleetFirstFit(FleetPlacementPolicy):
+    """Sharing-oblivious baseline: first UP host with room."""
+
+    name = "first-fit"
+
+    def choose(self, fleet: Fleet, vm: FleetVm) -> Optional[FleetHost]:
+        for host in fleet.hosts:
+            if host.accepts(vm.memory_bytes):
+                return host
+        return None
+
+
+class FleetSharingAware(FleetPlacementPolicy):
+    """Memory Buddies at fleet scale.
+
+    Scores candidate hosts by the fingerprint-estimated sharing with
+    the VMs already there: ``score(host) = Σ_img count[img] ×
+    sim(img, arriving)``, walking only hosts that already run a related
+    image (the ``hosts_by_image`` index).  Ties break on the host name,
+    so the choice is independent of index insertion order.
+    """
+
+    name = "sharing-aware"
+
+    def choose(self, fleet: Fleet, vm: FleetVm) -> Optional[FleetHost]:
+        similarity = fleet.catalog.similarity()
+        arriving = vm.image.name
+        related = [
+            image.name
+            for image in fleet.catalog.images
+            if similarity[(arriving, image.name)] > 0.0
+        ]
+        best: Optional[FleetHost] = None
+        best_score = 0.0
+        seen = set()
+        for image_name in related:
+            for host_name in fleet.hosts_by_image[image_name]:
+                if host_name in seen:
+                    continue
+                seen.add(host_name)
+                host = fleet.host_by_name[host_name]
+                if not host.accepts(vm.memory_bytes):
+                    continue
+                score = 0.0
+                for other, count in host.image_counts.items():
+                    score += count * similarity[(arriving, other)]
+                if score > best_score or (
+                    score == best_score
+                    and best is not None
+                    and host.name < best.name
+                ):
+                    best = host
+                    best_score = score
+        if best is not None:
+            return best
+        return FleetFirstFit().choose(fleet, vm)
+
+
+POLICIES: Dict[str, type] = {
+    FleetFirstFit.name: FleetFirstFit,
+    FleetSharingAware.name: FleetSharingAware,
+}
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+
+
+def generate_arrivals(
+    catalog: ImageCatalog,
+    vm_count: int,
+    seed: int,
+    window_ms: int,
+) -> List[FleetEvent]:
+    """A deterministic arrival sequence: ``vm_count`` VMs over the window.
+
+    Image choice and arrival time come from per-VM named streams, so
+    the sequence is independent of evaluation order; events are sorted
+    by (time, name) into the exact order the controller will pop them.
+    """
+    rng = RngFactory(seed).derive("arrivals")
+    width = max(5, len(str(vm_count)))
+    events = []
+    for index in range(vm_count):
+        name = f"vm{index:0{width}d}"
+        stream = rng.stream("vm", name)
+        image = catalog.images[stream.randrange(len(catalog.images))]
+        at_ms = stream.randrange(max(1, window_ms))
+        events.append(FleetEvent(
+            at_ms=at_ms,
+            kind=FleetEventKind.VM_ARRIVAL,
+            subject=name,
+            detail=f"image={image.name} mem={image.memory_bytes >> 20}MiB",
+            payload=(image.name,),
+        ))
+    events.sort(key=lambda event: (event.at_ms, event.subject))
+    return events

@@ -1,0 +1,180 @@
+"""Live migration: pre-copy rounds priced by per-VM dirty-rate estimates.
+
+The cost model is the classic iterative pre-copy loop: round 1 copies
+the VM's whole resident set over the migration link; while a round is
+in flight the guest keeps dirtying pages at its (PML-estimated) dirty
+rate, and the next round re-copies exactly what got dirtied.  Rounds
+stop when the remainder fits the downtime budget (stop-and-copy) or the
+round cap is hit — a writable working set larger than the link
+bandwidth never converges, which is why the cap exists.
+
+Execution is two-phase so a VM is *never half-placed*:
+
+1. ``reserve``   — the destination holds capacity for the VM;
+2. copy rounds   — a chaos plan may abort any attempt mid-copy
+   (``MIGRATION_ABORT``); aborted attempts retry with the same bounded
+   backoff schedule the resilient dump collector uses
+   (:data:`repro.faults.plan.BACKOFF_SCHEDULE_MS`);
+3. ``commit``    — the VM atomically moves to the destination — or
+   ``rollback`` releases the reservation and the VM stays committed to
+   its source.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.datacenter.fleet import Fleet, FleetHost, FleetVm
+from repro.faults.plan import BACKOFF_SCHEDULE_MS, MAX_DUMP_ATTEMPTS
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Link and convergence parameters of the migration subsystem."""
+
+    #: Migration link bandwidth (≈ 10 GbE with 4 KiB pages).
+    link_pages_per_ms: int = 256
+    #: Stop-and-copy when the dirty remainder fits this budget.
+    downtime_budget_pages: int = 512
+    #: Give up pre-copying after this many rounds and force stop-and-copy.
+    max_precopy_rounds: int = 8
+    #: Bounded retry on aborted attempts (reuses the faults policies).
+    max_attempts: int = MAX_DUMP_ATTEMPTS
+    backoff_schedule_ms: Tuple[int, ...] = BACKOFF_SCHEDULE_MS
+
+
+class MigrationOutcome(enum.Enum):
+    COMMITTED = "committed"
+    FAILED = "failed"           # every attempt aborted; VM stays on source
+
+
+@dataclass(frozen=True)
+class PrecopyRound:
+    pages_copied: int
+    duration_ms: int
+
+
+@dataclass
+class MigrationResult:
+    """What one migration actually did, attempt by attempt."""
+
+    vm_name: str
+    source: str
+    dest: str
+    outcome: MigrationOutcome
+    attempts: int = 1
+    aborted_attempts: int = 0
+    rounds: List[PrecopyRound] = field(default_factory=list)
+    copied_pages: int = 0
+    duration_ms: int = 0
+    downtime_ms: int = 0
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is MigrationOutcome.COMMITTED
+
+
+def plan_precopy(
+    resident_pages: int,
+    dirty_pages_per_s: float,
+    config: MigrationConfig,
+) -> Tuple[List[PrecopyRound], int, int]:
+    """The deterministic pre-copy schedule for one attempt.
+
+    Returns ``(rounds, stop_and_copy_pages, downtime_ms)``.  Pure
+    arithmetic — no randomness — so pricing a migration twice always
+    yields the same rounds.
+    """
+    rounds: List[PrecopyRound] = []
+    pending = max(0, resident_pages)
+    for _ in range(max(1, config.max_precopy_rounds)):
+        if pending <= config.downtime_budget_pages:
+            break
+        duration_ms = max(1, math.ceil(pending / config.link_pages_per_ms))
+        rounds.append(PrecopyRound(pending, duration_ms))
+        dirtied = int(dirty_pages_per_s * duration_ms / 1000.0)
+        next_pending = min(dirtied, resident_pages)
+        if next_pending >= pending:
+            # Dirty rate outruns the link: pre-copy cannot converge.
+            pending = next_pending
+            break
+        pending = next_pending
+    downtime_ms = max(1, math.ceil(pending / config.link_pages_per_ms))
+    return rounds, pending, downtime_ms
+
+
+class LiveMigrator:
+    """Executes migrations against a :class:`Fleet`, atomically."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        config: Optional[MigrationConfig] = None,
+        abort_decider=None,
+    ) -> None:
+        """``abort_decider(vm_name, attempt) -> bool`` injects
+        MIGRATION_ABORT faults; ``None`` means no chaos."""
+        self.fleet = fleet
+        self.config = config if config is not None else MigrationConfig()
+        self.abort_decider = abort_decider
+
+    def migrate(
+        self, vm: FleetVm, dest: FleetHost
+    ) -> MigrationResult:
+        """Move ``vm`` to ``dest`` with bounded retry; never half-place.
+
+        The destination reservation is taken once and held across retry
+        attempts (releasing it between attempts would let an arrival
+        steal the capacity and starve the retry), and is atomically
+        converted into a commitment — or released on terminal failure.
+        """
+        if vm.host is None:
+            raise ValueError(f"{vm.name} is not running anywhere")
+        source = vm.host
+        result = MigrationResult(
+            vm_name=vm.name,
+            source=source,
+            dest=dest.name,
+            outcome=MigrationOutcome.FAILED,
+        )
+        self.fleet.reserve(vm, dest)
+        config = self.config
+        attempts = 0
+        while attempts < config.max_attempts:
+            attempts += 1
+            rounds, remainder, downtime_ms = plan_precopy(
+                vm.image.resident_pages, vm.dirty_pages_per_s, config
+            )
+            aborted = (
+                self.abort_decider is not None
+                and self.abort_decider(vm.name, attempts)
+            )
+            if aborted:
+                # The abort hits mid-copy: the pages already on the wire
+                # are wasted, the VM never stops running on the source.
+                result.aborted_attempts += 1
+                copied = sum(r.pages_copied for r in rounds) // 2
+                elapsed = sum(r.duration_ms for r in rounds) // 2
+                result.copied_pages += copied
+                result.duration_ms += elapsed
+                schedule = config.backoff_schedule_ms or (0,)
+                backoff = schedule[min(attempts - 1, len(schedule) - 1)]
+                result.duration_ms += backoff
+                continue
+            result.rounds.extend(rounds)
+            result.copied_pages += sum(r.pages_copied for r in rounds)
+            result.copied_pages += remainder
+            result.duration_ms += sum(r.duration_ms for r in rounds)
+            result.duration_ms += downtime_ms
+            result.downtime_ms = downtime_ms
+            result.attempts = attempts
+            result.outcome = MigrationOutcome.COMMITTED
+            self.fleet.commit_migration(vm)
+            return result
+        # Terminal failure: roll back, the VM stays on its source.
+        result.attempts = attempts
+        self.fleet.release_reservation(vm)
+        return result

@@ -83,33 +83,45 @@ class DatacenterHost:
     def deploy(
         self, request: VmRequest, provisioner: CacheProvisioner
     ) -> KvmGuestVm:
-        """Boot the requested VM on this host and start its JVM."""
+        """Boot the requested VM on this host and start its JVM.
+
+        Atomic: if any boot stage raises (kernel boot, cache
+        provisioning, JVM startup), the half-created guest is torn down
+        and the host's bookkeeping is exactly what it was before the
+        call — no phantom VM holding committed memory.
+        """
         vm = self.kvm.create_guest(request.name, request.memory_bytes)
-        kernel = GuestKernel(
-            vm, self.kvm.rng.derive("guest", request.name)
-        )
-        kernel.boot(self.kernel_profile)
-        self.kernels[request.name] = kernel
-        process = kernel.spawn("java")
-        cache = (
-            provisioner.cache_for(request.workload, request.name)
-            if request.preload
-            else None
-        )
-        jvm_config = request.workload.jvm_config
-        if cache is not None:
-            jvm_config = jvm_config.with_sharing(True)
-        jvm = JavaVM(
-            process,
-            jvm_config,
-            request.workload.profile,
-            request.workload.universe(),
-            self.kvm.rng.derive("jvm", request.name),
-            cache=cache,
-        )
-        jvm.startup()
-        self.jvms[request.name] = jvm
-        vm.allocate_overhead(self.qemu_overhead_bytes)
+        try:
+            kernel = GuestKernel(
+                vm, self.kvm.rng.derive("guest", request.name)
+            )
+            kernel.boot(self.kernel_profile)
+            self.kernels[request.name] = kernel
+            process = kernel.spawn("java")
+            cache = (
+                provisioner.cache_for(request.workload, request.name)
+                if request.preload
+                else None
+            )
+            jvm_config = request.workload.jvm_config
+            if cache is not None:
+                jvm_config = jvm_config.with_sharing(True)
+            jvm = JavaVM(
+                process,
+                jvm_config,
+                request.workload.profile,
+                request.workload.universe(),
+                self.kvm.rng.derive("jvm", request.name),
+                cache=cache,
+            )
+            jvm.startup()
+            self.jvms[request.name] = jvm
+            vm.allocate_overhead(self.qemu_overhead_bytes)
+        except Exception:
+            self.kernels.pop(request.name, None)
+            self.jvms.pop(request.name, None)
+            self.kvm.destroy_guest(vm)
+            raise
         self._committed_bytes += request.memory_bytes
         return vm
 
@@ -178,7 +190,13 @@ class SharingAwarePolicy(PlacementPolicy):
                 continue
             aggregate = host.aggregate_fingerprint(self.bits, self.hashes)
             score = aggregate.estimate_shared_tokens(reference)
-            if score > best_score:
+            # Ties break on the host name so the choice is a function of
+            # the candidate set, not of the host list's iteration order.
+            if score > best_score or (
+                score == best_score
+                and best is not None
+                and host.name < best.name
+            ):
                 best = host
                 best_score = score
         if best is None:

@@ -64,6 +64,10 @@ def canonical(obj: Any) -> Any:
         return tuple(canonical(item) for item in obj)
     if isinstance(obj, (set, frozenset)):
         return ("set", tuple(sorted((canonical(x) for x in obj), key=repr)))
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        # Module-level functions (the only callables WorkUnits may
+        # carry) are identified by where they live, not by address.
+        return ("fn", getattr(obj, "__module__", ""), obj.__qualname__)
     raise TypeError(
         f"cannot fingerprint {type(obj).__name__!r}: not a primitive, "
         "enum, dataclass or container, and it does not define "

@@ -24,11 +24,16 @@ BACKOFF_SCHEDULE_MS = (10, 20)
 
 
 class FaultKind(enum.Enum):
-    """The injectable collection-fault classes.
+    """The injectable fault classes.
 
     The first six corrupt the *collected dump* (and must be caught by
-    :mod:`repro.core.validate`); the last two break the *collection
-    process* itself (and surface in the ``CollectionReport``).
+    :mod:`repro.core.validate`); the next two break the *collection
+    process* itself (and surface in the ``CollectionReport``).  The
+    last five are *fleet-level* faults: they never touch a dump but hit
+    the simulated datacenter — hosts crash or degrade, live migrations
+    abort mid-copy, memory pressure spikes, the network partitions —
+    and are scheduled on the sim clock by
+    :mod:`repro.datacenter.chaos`.
     """
 
     TRUNCATED_GUEST_DUMP = "truncated-guest-dump"
@@ -39,6 +44,11 @@ class FaultKind(enum.Enum):
     MISSING_FRAME_TOKEN = "missing-frame-token"
     NON_DEBUG_KERNEL = "non-debug-kernel"
     TRANSIENT_DUMP_FAILURE = "transient-dump-failure"
+    HOST_CRASH = "host-crash"
+    HOST_DEGRADED = "host-degraded"
+    MIGRATION_ABORT = "migration-abort"
+    MEMORY_PRESSURE_SPIKE = "memory-pressure-spike"
+    NETWORK_PARTITION = "network-partition"
 
 
 #: Fault kinds that damage dump contents (versus the collection process).
@@ -51,10 +61,32 @@ DUMP_FAULT_KINDS = (
     FaultKind.MISSING_FRAME_TOKEN,
 )
 
+#: Fault kinds that break the collection process itself.
+COLLECTION_FAULT_KINDS = DUMP_FAULT_KINDS + (
+    FaultKind.NON_DEBUG_KERNEL,
+    FaultKind.TRANSIENT_DUMP_FAILURE,
+)
+
+#: Fleet-level fault kinds (scheduled by the datacenter chaos engine).
+FLEET_FAULT_KINDS = (
+    FaultKind.HOST_CRASH,
+    FaultKind.HOST_DEGRADED,
+    FaultKind.MIGRATION_ABORT,
+    FaultKind.MEMORY_PRESSURE_SPIKE,
+    FaultKind.NETWORK_PARTITION,
+)
+
 
 @dataclass(frozen=True)
 class FaultRates:
-    """Per-guest probability of each fault class."""
+    """Per-entity probability of each fault class.
+
+    The collection rates are per-guest-per-collection; the fleet rates
+    are per-host (crash/degraded/pressure), per-migration-attempt
+    (abort) or per-partition-group (network partition) over one chaos
+    horizon.  Fleet rates default to zero so that plans built for dump
+    collection keep injecting exactly what they always did.
+    """
 
     truncated_guest_dump: float = 0.25
     dropped_memslot: float = 0.15
@@ -64,15 +96,42 @@ class FaultRates:
     missing_frame_token: float = 0.25
     non_debug_kernel: float = 0.15
     transient_dump_failure: float = 0.30
+    host_crash: float = 0.0
+    host_degraded: float = 0.0
+    migration_abort: float = 0.0
+    memory_pressure_spike: float = 0.0
+    network_partition: float = 0.0
 
     def rate_of(self, kind: FaultKind) -> float:
         return getattr(self, kind.value.replace("-", "_"))
 
     @classmethod
     def uniform(cls, rate: float) -> "FaultRates":
+        """Uniform rates over the *collection* fault classes.
+
+        Fleet classes stay at zero: ``--faults SEED:RATE`` arms dump
+        collection, not datacenter chaos (that is ``--chaos-plan``).
+        """
         if not 0.0 <= rate <= 1.0:
             raise FaultSpecError(f"fault rate must be in [0, 1], got {rate}")
-        return cls(**{f.name: rate for f in fields(cls)})
+        collection = {
+            kind.value.replace("-", "_") for kind in COLLECTION_FAULT_KINDS
+        }
+        return cls(**{name: rate for name in collection})
+
+    @classmethod
+    def fleet_uniform(cls, rate: float) -> "FaultRates":
+        """Uniform rates over the *fleet* fault classes only."""
+        if not 0.0 <= rate <= 1.0:
+            raise FaultSpecError(f"fault rate must be in [0, 1], got {rate}")
+        collection = {
+            kind.value.replace("-", "_"): 0.0
+            for kind in COLLECTION_FAULT_KINDS
+        }
+        fleet = {
+            kind.value.replace("-", "_"): rate for kind in FLEET_FAULT_KINDS
+        }
+        return cls(**collection, **fleet)
 
     @classmethod
     def only(cls, kind: FaultKind, rate: float = 1.0) -> "FaultRates":
@@ -80,6 +139,32 @@ class FaultRates:
         values = {f.name: 0.0 for f in fields(cls)}
         values[kind.value.replace("-", "_")] = rate
         return cls(**values)
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready mapping of every per-kind rate."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "FaultRates":
+        """Rebuild rates serialized by :meth:`as_dict`.
+
+        Unknown keys are rejected (a typo would silently disarm a fault
+        class); missing keys fall back to the defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultSpecError(
+                f"unknown fault-rate keys in serialized rates: {unknown}"
+            )
+        for name, rate in data.items():
+            if not 0.0 <= float(rate) <= 1.0:
+                raise FaultSpecError(
+                    f"fault rate {name} must be in [0, 1], got {rate}"
+                )
+        return cls(**{name: float(rate) for name, rate in data.items()})
 
 
 DEFAULT_FAULT_RATES = FaultRates()
@@ -169,6 +254,32 @@ class FaultPlan:
             vm_name,
         )
         return stream.randrange(1, MAX_DUMP_ATTEMPTS + 1)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form: everything needed to rebuild this plan."""
+        return {"seed": self.seed, "rates": self.rates.as_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`as_dict`.
+
+        Round-trip guarantee: the rebuilt plan decides and injects
+        byte-identically to the original (same streams, same draws).
+        """
+        try:
+            seed = int(data["seed"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError):
+            raise FaultSpecError(
+                "serialized fault plan needs an integer 'seed'"
+            ) from None
+        rates_data = data.get("rates")
+        if rates_data is None:
+            return cls(seed)
+        if not isinstance(rates_data, dict):
+            raise FaultSpecError(
+                "serialized fault plan 'rates' must be a mapping"
+            )
+        return cls(seed, FaultRates.from_dict(rates_data))
 
     def fingerprint_parts(self):
         """Canonical identity for result-cache keys: two plans built from

@@ -85,6 +85,24 @@ class TokenIndex:
             del self._nodes[token]
         self._unstable_tokens.clear()
 
+    def drop_unstable_for(self, table: "PageTable") -> None:
+        """Retire every unstable candidate belonging to ``table``.
+
+        Unregistering a table must remove its rmap items from the
+        unstable tree (as the kernel does when an mm goes away);
+        otherwise a persistent candidate can later merge a registered
+        page against an unregistered table under INCREMENTAL/HYBRID,
+        diverging from the FULL fixpoint.
+        """
+        dead = [
+            token
+            for token in self._unstable_tokens
+            if self._nodes[token][1] is table
+        ]
+        for token in dead:
+            del self._nodes[token]
+            self._unstable_tokens.discard(token)
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

@@ -185,6 +185,12 @@ class KsmScanner:
                 self._last_tokens.pop(table, None)
                 self._recheck.pop(table, None)
                 self._full_cache.pop(table, None)
+                # Unstable candidates pointing into this table must not
+                # survive it: a later identical page would merge against
+                # an unregistered mapping (kernel removes the mm's rmap
+                # items; FULL never hits this because it discards the
+                # unstable tree every pass).
+                self._index.drop_unstable_for(table)
                 if index < self._table_cursor:
                     self._table_cursor -= 1
                 elif index == self._table_cursor:

@@ -96,3 +96,43 @@ class TestFaultsCli:
         captured = capsys.readouterr()
         assert "ignored" in captured.err
         assert "before sharing" in captured.out
+
+
+class TestFleetCli:
+    ARGS = [
+        "fleet", "--hosts", "12", "--vms", "40",
+        "--chaos-plan", "77:0.3", "--horizon-minutes", "5",
+    ]
+
+    def test_fleet_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "fault(s) injected" in out
+        assert "sharing savings" in out
+        assert "placement fingerprint" in out
+
+    def test_fleet_json_report(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["hosts"] == 12
+        assert report["violations"] == 0
+        assert report["faults_injected"] > 0
+
+    def test_fleet_bench_out_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_fleet.json"
+        assert main(self.ARGS + ["--bench-out", str(out_file)]) == 0
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["placement_fingerprint"]
+
+    def test_fleet_without_chaos(self, capsys):
+        assert main(["fleet", "--hosts", "5", "--vms", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos plan off: 0 fault(s)" in out
+
+    def test_fleet_bad_chaos_plan_is_clean_error(self, capsys):
+        assert main(["fleet", "--chaos-plan", "bogus"]) == 1
+        assert "error:" in capsys.readouterr().err

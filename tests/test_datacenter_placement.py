@@ -116,3 +116,46 @@ class TestSharingAware:
             request("vm1"), 1 << 12, 4
         )
         assert a is b  # same workload+preload => cached
+
+
+class TestDeployRollback:
+    def test_failed_boot_leaves_no_phantom_vm(self, monkeypatch):
+        datacenter = make_datacenter(hosts=1, host_ram=128 * MiB)
+        host = datacenter.hosts[0]
+        from repro.jvm.jvm import JavaVM
+
+        def explode(self):
+            raise RuntimeError("JVM refused to start")
+
+        monkeypatch.setattr(JavaVM, "startup", explode)
+        with pytest.raises(RuntimeError):
+            datacenter.place(request("vm0"), FirstFitPolicy())
+        # The half-created guest must be fully rolled back: no committed
+        # memory, no registered kernel/JVM, no guest on the hypervisor,
+        # and no placement record.
+        assert host.committed_bytes == 0
+        assert host.kernels == {}
+        assert host.jvms == {}
+        assert host.kvm.guests == []
+        with pytest.raises(KeyError):
+            datacenter.placement_of("vm0")
+
+    def test_name_is_reusable_after_failed_deploy(self, monkeypatch):
+        datacenter = make_datacenter(hosts=1, host_ram=128 * MiB)
+        from repro.jvm.jvm import JavaVM
+
+        original = JavaVM.startup
+        calls = []
+
+        def explode_once(self):
+            if not calls:
+                calls.append(1)
+                raise RuntimeError("transient boot failure")
+            return original(self)
+
+        monkeypatch.setattr(JavaVM, "startup", explode_once)
+        with pytest.raises(RuntimeError):
+            datacenter.place(request("vm0"), FirstFitPolicy())
+        host = datacenter.place(request("vm0"), FirstFitPolicy())
+        assert datacenter.placement_of("vm0") == host.name
+        assert host.committed_bytes == 48 * MiB

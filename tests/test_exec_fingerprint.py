@@ -110,3 +110,28 @@ class TestScenarioRequestFingerprint:
         assert fingerprint64(self.BASE.cache_parts()) == fingerprint64(
             clone.cache_parts()
         )
+
+
+def _module_level_fn():
+    return None
+
+
+class TestCallableCanonical:
+    def test_functions_canonicalize_by_location(self):
+        from repro.exec.fingerprint import canonical
+
+        assert canonical(_module_level_fn) == (
+            "fn", __name__, "_module_level_fn"
+        )
+
+    def test_workunit_with_fn_field_fingerprints(self):
+        from repro.exec.fingerprint import fingerprint64
+        from repro.exec.runner import WorkUnit
+
+        unit = WorkUnit(fn=_module_level_fn, args=(1, 2))
+        assert fingerprint64(unit) == fingerprint64(
+            WorkUnit(fn=_module_level_fn, args=(1, 2))
+        )
+        assert fingerprint64(unit) != fingerprint64(
+            WorkUnit(fn=_module_level_fn, args=(1, 3))
+        )

@@ -62,3 +62,50 @@ class TestBloomProperties:
         shared = fingerprint.estimate_shared_tokens(fingerprint)
         estimate = fingerprint.estimated_cardinality()
         assert abs(shared - estimate) < 1e-6
+
+
+class TestEstimatorProperties:
+    """Properties the placement layer relies on (never negative/NaN)."""
+
+    @given(a=token_sets, b=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_union_cardinality_is_monotone(self, a, b):
+        """|A ∪ B| estimate is at least max(|A|, |B|) estimates."""
+        fa = MemoryFingerprint(bits=1 << 14)
+        fb = MemoryFingerprint(bits=1 << 14)
+        fa.add_all(a)
+        fb.add_all(b)
+        union = fa.union(fb).estimated_cardinality()
+        assert union >= fa.estimated_cardinality()
+        assert union >= fb.estimated_cardinality()
+
+    @given(tokens=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_cardinality_never_negative(self, tokens):
+        fingerprint = MemoryFingerprint(bits=1 << 10)
+        fingerprint.add_all(tokens)
+        assert fingerprint.estimated_cardinality() >= 0.0
+
+    @given(a=token_sets, b=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_shared_estimate_symmetric(self, a, b):
+        fa = MemoryFingerprint(bits=1 << 14)
+        fb = MemoryFingerprint(bits=1 << 14)
+        fa.add_all(a)
+        fb.add_all(b)
+        assert fa.estimate_shared_tokens(fb) == fb.estimate_shared_tokens(fa)
+
+    @given(a=token_sets, b=token_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_shared_estimate_clamped_to_min_cardinality(self, a, b):
+        """0 ≤ |A ∩ B| estimate ≤ min(|A|, |B|) estimates, never NaN."""
+        fa = MemoryFingerprint(bits=1 << 12)
+        fb = MemoryFingerprint(bits=1 << 12)
+        fa.add_all(a)
+        fb.add_all(b)
+        shared = fa.estimate_shared_tokens(fb)
+        assert shared == shared  # not NaN
+        assert 0.0 <= shared
+        assert shared <= min(
+            fa.estimated_cardinality(), fb.estimated_cardinality()
+        )

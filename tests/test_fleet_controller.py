@@ -1,0 +1,293 @@
+"""Tests for the chaos engine and the self-healing fleet control loop."""
+
+import pytest
+
+from repro.core.validate import validate_fleet
+from repro.datacenter.chaos import ChaosEngine, DEFAULT_FLEET_RATES
+from repro.datacenter.controller import (
+    FleetController,
+    FleetScenario,
+    run_fleet_scenario,
+)
+from repro.datacenter.events import FleetEventKind
+from repro.datacenter.fleet import (
+    Fleet,
+    FleetSharingAware,
+    HostState,
+    ImageCatalog,
+    generate_arrivals,
+)
+from repro.errors import FaultSpecError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.units import GiB
+
+HORIZON_MS = 600_000
+
+
+def make_engine(rate=0.3, seed=99):
+    from repro.faults.plan import FaultRates
+
+    return ChaosEngine(
+        FaultPlan(seed, FaultRates.fleet_uniform(rate)), HORIZON_MS
+    )
+
+
+class TestChaosEngine:
+    def test_schedule_is_deterministic(self):
+        names = [f"h{i:04d}" for i in range(40)]
+        assert make_engine().schedule(names) == make_engine().schedule(names)
+
+    def test_fault_windows_are_paired(self):
+        events = make_engine(rate=0.5).schedule(
+            [f"h{i:04d}" for i in range(40)]
+        )
+        starts = {FleetEventKind.HOST_CRASH: FleetEventKind.HOST_RECOVERED}
+        for start_kind, end_kind in starts.items():
+            started = [e.subject for e in events if e.kind is start_kind]
+            ended = [e.subject for e in events if e.kind is end_kind]
+            assert sorted(started) == sorted(ended)
+
+    def test_zero_rate_schedules_nothing(self):
+        engine = make_engine(rate=0.0)
+        assert engine.schedule([f"h{i}" for i in range(50)]) == []
+        assert not engine.should_abort_migration("vm1", 1)
+
+    def test_abort_decider_is_pure(self):
+        a = make_engine(rate=0.5)
+        b = make_engine(rate=0.5)
+        for attempt in range(1, 4):
+            assert a.should_abort_migration(
+                "vm7", attempt
+            ) == b.should_abort_migration("vm7", attempt)
+
+    def test_from_spec_default_and_explicit_rates(self):
+        engine = ChaosEngine.from_spec("123", HORIZON_MS)
+        assert engine.plan.rates == DEFAULT_FLEET_RATES
+        engine = ChaosEngine.from_spec("123:0.4", HORIZON_MS)
+        assert engine.plan.rates.rate_of(FaultKind.HOST_CRASH) == 0.4
+        # Collection faults stay disarmed under a chaos plan.
+        assert engine.plan.rates.rate_of(
+            FaultKind.TRUNCATED_GUEST_DUMP
+        ) == 0.0
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(FaultSpecError):
+            ChaosEngine.from_spec("nope", HORIZON_MS)
+        with pytest.raises(ValueError):
+            ChaosEngine.from_spec("1:0.5", 0)
+
+
+def run_small(seed=4242, rate=0.25, jobs=None, policy="sharing-aware"):
+    scenario = FleetScenario(
+        host_count=30,
+        vm_count=120,
+        host_ram_bytes=16 * GiB,
+        seed=seed,
+        policy=policy,
+        chaos_spec=f"{seed}:{rate}",
+        horizon_ms=HORIZON_MS,
+        compare_first_fit=False,
+    )
+    return run_fleet_scenario(scenario, jobs=jobs)
+
+
+class TestControlLoop:
+    def test_chaos_run_holds_every_invariant(self):
+        result = run_small()
+        assert result.faults_injected > 0
+        assert result.violations == []
+        report = validate_fleet(result.fleet, result.savings)
+        assert report.ok, report.render()
+
+    def test_no_vm_lost_or_double_placed(self):
+        result = run_small()
+        fleet = result.fleet
+        seen = {}
+        for host in fleet.hosts:
+            for name in host.vms:
+                assert name not in seen, f"{name} on two hosts"
+                seen[name] = host.name
+        for vm in fleet.vms.values():
+            if vm.host is not None:
+                assert seen.get(vm.name) == vm.host
+        assert result.admitted + result.rejected == 120
+
+    def test_crashed_hosts_are_evacuated(self):
+        result = run_small(rate=0.4)
+        crashes = result.fleet.log.by_kind(FleetEventKind.HOST_CRASH)
+        assert crashes, "this seed should crash at least one host"
+        for host in result.fleet.hosts:
+            if host.state is HostState.DOWN:
+                assert not host.vms
+
+    def test_same_seed_same_run(self):
+        a = run_small().as_dict()
+        b = run_small().as_dict()
+        assert a == b
+
+    def test_serial_equals_parallel(self):
+        a = run_small(jobs=1).as_dict()
+        b = run_small(jobs=4).as_dict()
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = run_small(seed=1)
+        b = run_small(seed=2)
+        assert (
+            a.as_dict()["placement_fingerprint"]
+            != b.as_dict()["placement_fingerprint"]
+            or a.as_dict()["events"] != b.as_dict()["events"]
+        )
+
+    def test_chaos_off_means_no_faults_and_full_placement(self):
+        scenario = FleetScenario(
+            host_count=20,
+            vm_count=80,
+            seed=5,
+            chaos_spec=None,
+            horizon_ms=HORIZON_MS,
+            compare_first_fit=False,
+        )
+        result = run_fleet_scenario(scenario)
+        assert result.faults_injected == 0
+        assert result.violations == []
+        assert result.rejected == 0 and result.queued_final == 0
+        assert result.savings.unreachable_hosts == 0
+        assert result.savings.lower_bytes == result.savings.upper_bytes
+
+    def test_overload_rejects_with_structured_reason(self):
+        # 2 small hosts cannot hold 80 VMs: the tail must be rejected
+        # (not silently dropped) once no offline capacity could help.
+        scenario = FleetScenario(
+            host_count=2,
+            vm_count=80,
+            host_ram_bytes=4 * GiB,
+            seed=5,
+            chaos_spec=None,
+            horizon_ms=HORIZON_MS,
+            compare_first_fit=False,
+        )
+        result = run_fleet_scenario(scenario)
+        assert result.rejected > 0
+        assert result.rejection_reasons["insufficient-capacity"] == (
+            result.rejected
+        )
+        assert result.violations == []
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            run_fleet_scenario(FleetScenario(policy="psychic"))
+
+
+class TestValidateFleet:
+    def make_populated(self):
+        catalog = ImageCatalog.generate(3)
+        fleet = Fleet(4, 16 * GiB, catalog, seed=3)
+        policy = FleetSharingAware()
+        for index in range(8):
+            vm = fleet.admit(f"vm{index}", catalog.images[index % 3])
+            fleet.place_vm(vm, policy.choose(fleet, vm))
+        return fleet
+
+    def test_clean_fleet_validates(self):
+        report = validate_fleet(self.make_populated())
+        assert report.ok
+        assert report.findings == []
+
+    def test_detects_commit_mismatch(self):
+        fleet = self.make_populated()
+        fleet.hosts[0].committed_bytes += 4096
+        report = validate_fleet(fleet)
+        assert "fleet-commit-mismatch" in report.codes()
+        assert "fleet-bytes-not-conserved" in report.codes()
+
+    def test_detects_lost_vm(self):
+        fleet = self.make_populated()
+        vm = next(iter(fleet.vms.values()))
+        host = fleet.host_by_name[vm.host]
+        del host.vms[vm.name]
+        host.committed_bytes -= vm.memory_bytes
+        report = validate_fleet(fleet)
+        assert "fleet-vm-lost" in report.codes()
+
+    def test_detects_double_placement(self):
+        fleet = self.make_populated()
+        vm = next(iter(fleet.vms.values()))
+        other = next(
+            host for host in fleet.hosts if host.name != vm.host
+        )
+        other.vms[vm.name] = vm
+        other.committed_bytes += vm.memory_bytes
+        report = validate_fleet(fleet)
+        assert "fleet-vm-double-placed" in report.codes()
+
+    def test_detects_occupied_down_host(self):
+        fleet = self.make_populated()
+        occupied = next(host for host in fleet.hosts if host.vms)
+        occupied.state = HostState.DOWN
+        report = validate_fleet(fleet)
+        assert "fleet-down-host-occupied" in report.codes()
+
+    def test_detects_reservation_leak(self):
+        fleet = self.make_populated()
+        fleet.hosts[0].reserved_bytes += 4096
+        report = validate_fleet(fleet)
+        assert "fleet-reservation-leak" in report.codes()
+
+    def test_detects_insane_savings_bounds(self):
+        from repro.datacenter.fleet import FleetSavings
+
+        fleet = self.make_populated()
+        bad = FleetSavings(
+            lower_bytes=-1, upper_bytes=-2,
+            reachable_hosts=4, unreachable_hosts=0,
+        )
+        report = validate_fleet(fleet, bad)
+        assert "fleet-negative-savings" in report.codes()
+
+
+class TestControllerPieces:
+    def test_degraded_host_drains(self):
+        catalog = ImageCatalog.generate(9)
+        fleet = Fleet(3, 16 * GiB, catalog, seed=9)
+        controller = FleetController(fleet, FleetSharingAware())
+        arrivals = generate_arrivals(catalog, 12, seed=9, window_ms=1000)
+        result = controller.run(arrivals, horizon_ms=2000)
+        assert result.violations == []
+        victim = next(host for host in fleet.hosts if host.vms)
+        from repro.datacenter.events import FleetEvent
+
+        controller._apply(
+            FleetEvent(3000, FleetEventKind.HOST_DEGRADED, victim.name),
+            result,
+        )
+        assert victim.state is HostState.DEGRADED
+        assert not victim.vms  # everything migrated away
+        assert validate_fleet(fleet).ok
+
+    def test_pressure_spike_relieves_and_ends(self):
+        catalog = ImageCatalog.generate(9)
+        fleet = Fleet(3, 16 * GiB, catalog, seed=9)
+        controller = FleetController(fleet, FleetSharingAware())
+        arrivals = generate_arrivals(catalog, 12, seed=9, window_ms=1000)
+        result = controller.run(arrivals, horizon_ms=2000)
+        target = max(fleet.hosts, key=lambda h: h.committed_bytes)
+        from repro.datacenter.events import FleetEvent
+
+        controller._apply(
+            FleetEvent(
+                3000, FleetEventKind.MEMORY_PRESSURE_SPIKE, target.name,
+                payload=(0.9,),
+            ),
+            result,
+        )
+        assert target.pressure_bytes > 0
+        assert validate_fleet(fleet).ok
+        controller._apply(
+            FleetEvent(
+                4000, FleetEventKind.MEMORY_PRESSURE_END, target.name,
+                payload=(0.9,),
+            ),
+            result,
+        )
+        assert target.pressure_bytes == 0

@@ -1,0 +1,129 @@
+"""Tests for live migration: pre-copy pricing and atomic execution."""
+
+import pytest
+
+from repro.datacenter.fleet import Fleet, ImageCatalog, VmState
+from repro.datacenter.migration import (
+    LiveMigrator,
+    MigrationConfig,
+    plan_precopy,
+)
+from repro.units import GiB
+
+
+def make_fleet(hosts=3, seed=11):
+    catalog = ImageCatalog.generate(seed)
+    return Fleet(hosts, 16 * GiB, catalog, seed=seed), catalog
+
+
+def placed_vm(fleet, catalog, name="vm1", host_index=0):
+    vm = fleet.admit(name, catalog.images[0])
+    fleet.place_vm(vm, fleet.hosts[host_index])
+    return vm
+
+
+class TestPrecopyPlanning:
+    def test_small_vm_goes_straight_to_stop_and_copy(self):
+        config = MigrationConfig(downtime_budget_pages=512)
+        rounds, remainder, downtime = plan_precopy(100, 1000.0, config)
+        assert rounds == []
+        assert remainder == 100
+        assert downtime >= 1
+
+    def test_rounds_shrink_when_dirty_rate_is_low(self):
+        config = MigrationConfig()
+        rounds, remainder, _ = plan_precopy(100_000, 500.0, config)
+        sizes = [r.pages_copied for r in rounds]
+        assert sizes == sorted(sizes, reverse=True)
+        assert remainder <= config.downtime_budget_pages
+
+    def test_non_convergent_dirty_rate_hits_round_cap(self):
+        config = MigrationConfig(max_precopy_rounds=8)
+        # Dirtying far faster than the link can copy: never converges.
+        rounds, remainder, _ = plan_precopy(100_000, 10_000_000.0, config)
+        assert len(rounds) <= config.max_precopy_rounds
+        assert remainder > config.downtime_budget_pages
+
+    def test_pure_function_of_inputs(self):
+        config = MigrationConfig()
+        assert plan_precopy(50_000, 1234.5, config) == plan_precopy(
+            50_000, 1234.5, config
+        )
+
+
+class TestLiveMigrator:
+    def test_successful_migration_commits(self):
+        fleet, catalog = make_fleet()
+        vm = placed_vm(fleet, catalog)
+        dest = fleet.hosts[1]
+        result = LiveMigrator(fleet).migrate(vm, dest)
+        assert result.committed
+        assert vm.host == dest.name
+        assert vm.state is VmState.RUNNING
+        assert dest.reserved_bytes == 0
+        assert fleet.hosts[0].committed_bytes == 0
+        assert result.copied_pages >= vm.image.resident_pages
+
+    def test_abort_then_retry_succeeds(self):
+        fleet, catalog = make_fleet()
+        vm = placed_vm(fleet, catalog)
+        dest = fleet.hosts[1]
+        migrator = LiveMigrator(
+            fleet, abort_decider=lambda name, attempt: attempt == 1
+        )
+        result = migrator.migrate(vm, dest)
+        assert result.committed
+        assert result.aborted_attempts == 1
+        assert result.attempts == 2
+        assert vm.host == dest.name
+
+    def test_all_attempts_aborted_rolls_back(self):
+        fleet, catalog = make_fleet()
+        vm = placed_vm(fleet, catalog)
+        source = vm.host
+        dest = fleet.hosts[1]
+        migrator = LiveMigrator(
+            fleet, abort_decider=lambda name, attempt: True
+        )
+        result = migrator.migrate(vm, dest)
+        assert not result.committed
+        assert result.aborted_attempts == result.attempts
+        # Never half-placed: the VM still runs on its source, and the
+        # destination holds no leftover reservation.
+        assert vm.host == source
+        assert vm.state is VmState.RUNNING
+        assert vm.reserved_on is None
+        assert dest.reserved_bytes == 0
+        assert dest.committed_bytes == 0
+
+    def test_reservation_held_across_retries(self):
+        fleet, catalog = make_fleet()
+        vm = placed_vm(fleet, catalog)
+        dest = fleet.hosts[1]
+        observed = []
+
+        def decider(name, attempt):
+            observed.append(dest.reserved_bytes)
+            return attempt == 1
+
+        LiveMigrator(fleet, abort_decider=decider).migrate(vm, dest)
+        # Both attempts saw the reservation in place.
+        assert observed == [vm.memory_bytes, vm.memory_bytes]
+
+    def test_unplaced_vm_rejected(self):
+        fleet, catalog = make_fleet()
+        vm = fleet.admit("vm1", catalog.images[0])
+        with pytest.raises(ValueError):
+            LiveMigrator(fleet).migrate(vm, fleet.hosts[1])
+
+    def test_deterministic_result(self):
+        results = []
+        for _ in range(2):
+            fleet, catalog = make_fleet()
+            vm = placed_vm(fleet, catalog)
+            result = LiveMigrator(fleet).migrate(vm, fleet.hosts[1])
+            results.append(
+                (result.copied_pages, result.duration_ms,
+                 result.downtime_ms, len(result.rounds))
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,220 @@
+"""Tests for the fleet-scale model: images, hosts, placement, savings."""
+
+import pytest
+
+from repro.datacenter.fleet import (
+    Fleet,
+    FleetFirstFit,
+    FleetSharingAware,
+    HostState,
+    ImageCatalog,
+    TOKEN_SPAN_PAGES,
+    VmState,
+    converge_host_savings,
+    generate_arrivals,
+)
+from repro.exec.runner import ParallelRunner
+from repro.units import DEFAULT_PAGE_SIZE, GiB
+
+
+def make_fleet(hosts=8, ram=16 * GiB, seed=7):
+    catalog = ImageCatalog.generate(seed)
+    return Fleet(hosts, ram, catalog, seed=seed), catalog
+
+
+class TestImageCatalog:
+    def test_generation_is_deterministic(self):
+        a = ImageCatalog.generate(42)
+        b = ImageCatalog.generate(42)
+        assert [i.name for i in a.images] == [i.name for i in b.images]
+        assert [i.shared_tokens for i in a.images] == [
+            i.shared_tokens for i in b.images
+        ]
+
+    def test_from_spec_rebuilds_identically(self):
+        a = ImageCatalog.generate(42, image_count=6, family_count=2)
+        b = ImageCatalog.from_spec(a.spec)
+        assert [i.shared_tokens for i in a.images] == [
+            i.shared_tokens for i in b.images
+        ]
+
+    def test_same_family_images_share_tokens(self):
+        catalog = ImageCatalog.generate(7, image_count=6, family_count=3)
+        by_family = {}
+        for image in catalog.images:
+            by_family.setdefault(image.family, []).append(image)
+        for family, members in by_family.items():
+            if len(members) < 2:
+                continue
+            a, b = members[0], members[1]
+            common = set(a.shared_tokens) & set(b.shared_tokens)
+            assert len(common) >= 32, family
+
+    def test_similarity_reflects_families(self):
+        catalog = ImageCatalog.generate(7, image_count=6, family_count=3)
+        sim = catalog.similarity()
+        a, b = catalog.images[0], catalog.images[3]   # same family
+        c = catalog.images[1]                         # different family
+        assert a.family == b.family and a.family != c.family
+        assert sim[(a.name, b.name)] > sim[(a.name, c.name)]
+        assert sim[(a.name, b.name)] == sim[(b.name, a.name)]
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ImageCatalog.generate(1, image_count=0)
+
+
+class TestFleetBookkeeping:
+    def test_place_and_orphan_round_trip(self):
+        fleet, catalog = make_fleet()
+        vm = fleet.admit("vm1", catalog.images[0])
+        host = fleet.hosts[0]
+        fleet.place_vm(vm, host)
+        assert vm.state is VmState.RUNNING
+        assert fleet.placements["vm1"] == host.name
+        assert host.committed_bytes == vm.memory_bytes
+        fleet.orphan_vm(vm)
+        assert vm.state is VmState.PENDING
+        assert "vm1" not in fleet.placements
+        assert host.committed_bytes == 0
+        assert host.image_counts == {}
+
+    def test_admission_jitter_is_per_vm_deterministic(self):
+        a, catalog = make_fleet()
+        b, _ = make_fleet()
+        for name in ("vm1", "vm2"):
+            assert (
+                a.admit(name, catalog.images[0]).dirty_pages_per_s
+                == b.admit(name, catalog.images[0]).dirty_pages_per_s
+            )
+
+    def test_reserve_commit_moves_vm_atomically(self):
+        fleet, catalog = make_fleet()
+        vm = fleet.admit("vm1", catalog.images[0])
+        src, dst = fleet.hosts[0], fleet.hosts[1]
+        fleet.place_vm(vm, src)
+        fleet.reserve(vm, dst)
+        assert vm.state is VmState.MIGRATING
+        assert dst.reserved_bytes == vm.memory_bytes
+        fleet.commit_migration(vm)
+        assert vm.state is VmState.RUNNING
+        assert vm.host == dst.name
+        assert src.committed_bytes == 0
+        assert dst.committed_bytes == vm.memory_bytes
+        assert dst.reserved_bytes == 0
+
+    def test_release_reservation_rolls_back(self):
+        fleet, catalog = make_fleet()
+        vm = fleet.admit("vm1", catalog.images[0])
+        src, dst = fleet.hosts[0], fleet.hosts[1]
+        fleet.place_vm(vm, src)
+        fleet.reserve(vm, dst)
+        fleet.release_reservation(vm)
+        assert vm.state is VmState.RUNNING
+        assert vm.host == src.name
+        assert dst.reserved_bytes == 0
+
+    def test_down_host_rejects_placement(self):
+        fleet, catalog = make_fleet()
+        vm = fleet.admit("vm1", catalog.images[0])
+        fleet.hosts[0].state = HostState.DOWN
+        assert not fleet.hosts[0].accepts(vm.memory_bytes)
+        with pytest.raises(ValueError):
+            fleet.place_vm(vm, fleet.hosts[0])
+
+    def test_pressure_shrinks_admission_not_physics(self):
+        fleet, _ = make_fleet(ram=4 * GiB)
+        host = fleet.hosts[0]
+        host.pressure_bytes = 3 * GiB
+        assert host.effective_capacity_bytes == 1 * GiB
+        assert host.capacity_bytes == 4 * GiB
+
+
+class TestSavings:
+    def test_converge_host_savings_counts_duplicates(self):
+        catalog = ImageCatalog.generate(7)
+        image = catalog.images[0]
+        saved = converge_host_savings(
+            catalog.spec, ((image.name, 3),), DEFAULT_PAGE_SIZE
+        )
+        expected = (
+            len(image.shared_tokens) * 2 * TOKEN_SPAN_PAGES
+            * DEFAULT_PAGE_SIZE
+        )
+        assert saved == expected
+
+    def test_single_instance_saves_nothing(self):
+        catalog = ImageCatalog.generate(7)
+        saved = converge_host_savings(
+            catalog.spec, ((catalog.images[0].name, 1),), DEFAULT_PAGE_SIZE
+        )
+        assert saved == 0
+
+    def test_savings_identical_serial_vs_parallel(self):
+        fleet, catalog = make_fleet(hosts=6)
+        policy = FleetSharingAware()
+        for index in range(24):
+            vm = fleet.admit(
+                f"vm{index:02d}", catalog.images[index % len(catalog.images)]
+            )
+            fleet.place_vm(vm, policy.choose(fleet, vm))
+        serial = fleet.savings_by_host(ParallelRunner(jobs=1))
+        parallel = fleet.savings_by_host(ParallelRunner(jobs=4))
+        assert serial == parallel
+        assert sum(serial.values()) > 0
+
+    def test_partitioned_hosts_widen_the_bounds(self):
+        fleet, catalog = make_fleet(hosts=4)
+        for index in range(8):
+            vm = fleet.admit(f"vm{index}", catalog.images[0])
+            fleet.place_vm(vm, fleet.hosts[index % 4])
+        full = fleet.savings()
+        fleet.hosts[0].state = HostState.PARTITIONED
+        bounded = fleet.savings()
+        assert bounded.unreachable_hosts == 1
+        assert bounded.lower_bytes < full.lower_bytes
+        assert bounded.upper_bytes == full.upper_bytes
+        assert bounded.lower_bytes >= 0
+
+
+class TestPolicies:
+    def test_sharing_aware_collocates_same_image(self):
+        fleet, catalog = make_fleet(hosts=4)
+        policy = FleetSharingAware()
+        image = catalog.images[0]
+        first = fleet.admit("vm1", image)
+        fleet.place_vm(first, policy.choose(fleet, first))
+        second = fleet.admit("vm2", image)
+        chosen = policy.choose(fleet, second)
+        assert chosen.name == first.host
+
+    def test_first_fit_fills_in_host_order(self):
+        fleet, catalog = make_fleet(hosts=3)
+        policy = FleetFirstFit()
+        vm = fleet.admit("vm1", catalog.images[0])
+        assert policy.choose(fleet, vm).name == fleet.hosts[0].name
+
+    def test_policy_returns_none_when_everything_is_down(self):
+        fleet, catalog = make_fleet(hosts=2)
+        for host in fleet.hosts:
+            host.state = HostState.DOWN
+        vm = fleet.admit("vm1", catalog.images[0])
+        assert FleetFirstFit().choose(fleet, vm) is None
+        assert FleetSharingAware().choose(fleet, vm) is None
+
+
+class TestArrivals:
+    def test_arrivals_deterministic_and_sorted(self):
+        catalog = ImageCatalog.generate(7)
+        a = generate_arrivals(catalog, 50, seed=3, window_ms=60_000)
+        b = generate_arrivals(catalog, 50, seed=3, window_ms=60_000)
+        assert a == b
+        times = [event.at_ms for event in a]
+        assert times == sorted(times)
+        assert len({event.subject for event in a}) == 50
+
+    def test_different_seeds_differ(self):
+        catalog = ImageCatalog.generate(7)
+        a = generate_arrivals(catalog, 50, seed=3, window_ms=60_000)
+        b = generate_arrivals(catalog, 50, seed=4, window_ms=60_000)
+        assert a != b

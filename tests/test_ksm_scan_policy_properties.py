@@ -66,6 +66,15 @@ class ReferenceScanner:
             if t is table:
                 del self._tables[i]
                 self._last_tokens.pop(table, None)
+                # Kernel semantics: the mm's rmap items leave the
+                # unstable tree with it — nothing may later merge
+                # against an unregistered table's page.
+                for token in [
+                    tok
+                    for tok, (cand_table, _vpn) in self._unstable.items()
+                    if cand_table is table
+                ]:
+                    del self._unstable[token]
                 if i < self._cursor:
                     self._cursor -= 1
                 elif i == self._cursor:
@@ -323,3 +332,44 @@ class TestIncrementalFixpoint:
             saved[policy] = stats.pages_saved
         assert saved["incremental"] == saved["full"]
         assert saved["hybrid"] == saved["full"]
+
+
+class TestUnregisterPurgesUnstable:
+    """Regression: a persistent unstable candidate must die with its
+    table.  Before the fix, INCREMENTAL/HYBRID kept the candidate after
+    ``unregister`` and a later identical page in a *registered* table
+    merged against the unregistered mapping, ending one page above the
+    FULL fixpoint."""
+
+    def _converged_saved(self, policy):
+        pm, clock, tables = _build_universe(None)
+        scanner = KsmScanner(pm, clock, KsmConfig(scan_policy=policy))
+        for table in tables:
+            scanner.register(table)
+        pm.write_token(tables[1], 0, 1)
+        scanner.scan_pages(1)
+        scanner.scan_pages(1)
+        scanner.unregister(tables[1])
+        pm.write_token(tables[0], 0, 1)
+        scanner.run_until_converged(max_passes=16, idle_passes=3)
+        return scanner.snapshot_stats().pages_saved
+
+    def test_no_merge_against_unregistered_table(self):
+        for policy in ("full", "incremental", "hybrid"):
+            assert self._converged_saved(policy) == 0, policy
+
+    def test_unstable_candidates_dropped_on_unregister(self):
+        pm, clock, tables = _build_universe(None)
+        scanner = KsmScanner(
+            pm, clock, KsmConfig(scan_policy="incremental")
+        )
+        for table in tables:
+            scanner.register(table)
+        pm.write_token(tables[1], 0, 1)
+        # Two sightings: the second passes the volatility filter and
+        # plants an unstable candidate for tables[1].
+        scanner.scan_pages(len(tables) * 4)
+        scanner.scan_pages(len(tables) * 4)
+        assert scanner.unstable_candidates >= 1
+        scanner.unregister(tables[1])
+        assert scanner.unstable_candidates == 0
