@@ -54,14 +54,16 @@ def run():
     # Now compress what TPS could not share: sweep both guests' pages
     # (KSM-stable frames are skipped by the store).
     store = CompressedRamStore(host.physmem)
+    in_use_before = host.physmem.bytes_in_use
     compression_saved = 0
     for vm in host.guests:
         compression_saved += store.sweep(vm.page_table)
-    return tps_saved, compression_saved, store
+    freed = in_use_before - host.physmem.bytes_in_use
+    return tps_saved, compression_saved, freed, store
 
 
 def test_ablation_tps_vs_compression(benchmark):
-    tps_saved, compression_saved, store = benchmark.pedantic(
+    tps_saved, compression_saved, freed, store = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
     restore_cost_ms = store.decompress_us / 1000.0
@@ -85,3 +87,7 @@ def test_ablation_tps_vs_compression(benchmark):
     # ...but only TPS is free to read; the store charges every restore.
     assert store.stats.cpu_us > 0
     assert store.stats.bytes_saved == compression_saved
+    # Host accounting: the claimed savings equal exactly what left the
+    # host's books, with the compressed pool still charged to them.
+    assert freed == compression_saved
+    assert store.physmem.pool_bytes == store.pool_bytes

@@ -1,0 +1,99 @@
+"""Ablation A6 — the pressure family: TPS vs §VI alternatives, priced.
+
+The paper names ballooning and paging-to-RAM compression as TPS's
+competitors but never races them.  This bench runs the four-arm pressure
+family (KSM / compression / balloon / combined) on an undersized host at
+identical seeds and asserts the accounting contract end to end:
+
+* all four arms run and physically free memory against the no-reclaim
+  baseline;
+* no arm claims more bytes saved than the host's books show freed — the
+  invariant the compressed-pool charging exists for;
+* the pool/physmem validator is clean on every arm;
+* throughput is priced: arms that decompress or balloon pay a cost.
+
+The full report is written to ``BENCH_tiering.json`` (override with
+``REPRO_BENCH_TIERING_JSON``) so CI can archive the Fig.-7-style
+savings/throughput curve per mechanism across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.experiments.pressure import PRESSURE_ARMS, run_pressure_family
+from repro.exec.cache import default_cache
+from repro.units import MiB
+
+from conftest import BENCH_SCALE, BENCH_SEED, BENCH_TICKS
+
+BENCH_TIERING_JSON = Path(
+    os.environ.get("REPRO_BENCH_TIERING_JSON", "BENCH_tiering.json")
+)
+
+_SESSION = {}
+
+
+def family_run():
+    if "family" not in _SESSION:
+        started = time.perf_counter()
+        family = run_pressure_family(
+            scenario="daytrader4",
+            scale=BENCH_SCALE,
+            measurement_ticks=BENCH_TICKS,
+            seed=BENCH_SEED,
+            host_ram_fraction=0.6,
+            cache=default_cache(),
+        )
+        _SESSION["family"] = (family, time.perf_counter() - started)
+    return _SESSION["family"]
+
+
+class TestTieringPressureSmoke:
+    def test_all_arms_fight_the_pressure(self):
+        family, _ = family_run()
+        assert set(family.arms) == set(PRESSURE_ARMS)
+        for arm in PRESSURE_ARMS:
+            assert family.physically_freed_bytes[arm] > 0, arm
+
+    def test_no_arm_overclaims_savings(self):
+        family, _ = family_run()
+        for arm in PRESSURE_ARMS:
+            result = family.arms[arm]
+            assert family.savings_honest(arm), (
+                f"{arm} claims {result.claimed_saved_bytes} B but only "
+                f"{family.physically_freed_bytes[arm]} B left the host"
+            )
+
+    def test_pool_accounting_validates_clean(self):
+        family, _ = family_run()
+        for arm, result in family.arms.items():
+            assert result.validation_codes == [], (arm, result.validation_codes)
+
+    def test_reclaim_is_priced_not_free(self):
+        family, _ = family_run()
+        for arm, result in family.arms.items():
+            assert 0.0 < result.throughput_fraction <= 1.0, arm
+        assert family.arms["compression"].tiering_penalty < 1.0
+        assert family.arms["balloon"].tiering_penalty < 1.0
+        assert family.arms["ksm"].tiering_penalty == 1.0
+
+    def test_archive_report(self):
+        family, seconds = family_run()
+        report = family.to_dict()
+        report["scale"] = BENCH_SCALE
+        report["measurement_ticks"] = BENCH_TICKS
+        report["wall_seconds"] = round(seconds, 3)
+        BENCH_TIERING_JSON.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        rows = ", ".join(
+            f"{arm}: {family.physically_freed_bytes[arm] / MiB:.1f} MB "
+            f"freed @ x{family.arms[arm].throughput_fraction:.3f}"
+            for arm in PRESSURE_ARMS
+        )
+        print(f"pressure family ({rows}) in {report['wall_seconds']} s "
+              f"-> {BENCH_TIERING_JSON}")

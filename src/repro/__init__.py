@@ -26,6 +26,7 @@ from repro.config import (
     HostConfig,
     JvmConfig,
     KsmSettings,
+    TieringSettings,
     WorkloadConfig,
 )
 from repro.core.accounting import (
@@ -49,10 +50,12 @@ from repro.core.experiments import (
     GuestSpec,
     KvmTestbed,
     PowerVmResult,
+    PressureFamilyResult,
     ScenarioResult,
     TestbedConfig,
     run_daytrader_consolidation,
     run_powervm_experiment,
+    run_pressure_family,
     run_scenario,
     run_specj_consolidation,
     scale_workload,
@@ -91,6 +94,8 @@ from repro.jvm import JavaVM, SharedClassCache
 from repro.jvm.multitenant import MultiTenantJavaVM, TenantSpec
 from repro.ksm import KsmConfig, KsmScanner, KsmStats, ScanPolicy
 from repro.mem.compression import CompressedRamStore
+from repro.mem.workingset import WorkingSetEstimator
+from repro.tiering import TieringEngine
 from repro.workloads import Workload, build_workload
 
 __version__ = "1.0.0"
@@ -103,6 +108,7 @@ __all__ = [
     "HostConfig",
     "JvmConfig",
     "KsmSettings",
+    "TieringSettings",
     "WorkloadConfig",
     # substrates
     "KvmHost",
@@ -148,6 +154,8 @@ __all__ = [
     "ConsolidationResult",
     "run_daytrader_consolidation",
     "run_specj_consolidation",
+    "PressureFamilyResult",
+    "run_pressure_family",
     "scale_workload",
     # reporting
     "render_vm_breakdown",
@@ -163,6 +171,9 @@ __all__ = [
     "BalloonManager",
     "SatoriRegistry",
     "CompressedRamStore",
+    # working-set tiering (ROADMAP item 2)
+    "WorkingSetEstimator",
+    "TieringEngine",
     "MultiTenantJavaVM",
     "TenantSpec",
     "Datacenter",

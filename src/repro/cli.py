@@ -95,6 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     common.add_argument(
+        "--tiering",
+        choices=["off", "hints", "compress", "balloon", "combined"],
+        default="off",
+        help=(
+            "working-set tiering mode for the run: feed cold-region "
+            "hints to KSM, compress cold pages, balloon guests with "
+            "small working sets, or all three combined"
+        ),
+    )
+    common.add_argument(
         "--faults", metavar="SEED[:RATE]", default=None,
         help=(
             "inject collection faults from this seed (optional RATE in "
@@ -159,6 +169,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--deployment",
         choices=[d.value for d in CacheDeployment],
         default="none",
+    )
+    pressure = sub.add_parser(
+        "pressure", parents=[common],
+        help=(
+            "run the pressure family: KSM vs compression vs ballooning "
+            "vs combined on an undersized host, identical seeds"
+        ),
+    )
+    pressure.add_argument(
+        "name", nargs="?", choices=SCENARIOS, default="daytrader4"
+    )
+    pressure.add_argument(
+        "--ram-fraction", type=float, default=0.6,
+        help=(
+            "host RAM as a fraction of the scenario's normal sizing "
+            "(< 1 creates the pressure; default 0.6)"
+        ),
+    )
+    pressure.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    pressure.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="also write the JSON report to this file",
     )
     fleet = sub.add_parser(
         "fleet",
@@ -262,6 +297,7 @@ def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
         seed=args.seed,
         scan_policy=args.scan_policy,
         faults=_fault_plan(args),
+        tiering=getattr(args, "tiering", "off"),
     )
 
 
@@ -493,6 +529,75 @@ def _run_fleet(args) -> int:
     return 0
 
 
+def _run_pressure(args) -> int:
+    import json
+
+    from repro.core.experiments.pressure import run_pressure_family
+
+    family = run_pressure_family(
+        scenario=args.name,
+        scale=args.scale,
+        measurement_ticks=args.ticks,
+        seed=args.seed,
+        host_ram_fraction=args.ram_fraction,
+        jobs=args.jobs,
+        cache=_cache_from(args),
+    )
+    report = family.to_dict()
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.bench_out:
+        with open(args.bench_out, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        baseline = family.baseline
+        print(
+            f"pressure: {args.name} at scale {args.scale}, host RAM x "
+            f"{args.ram_fraction} ({baseline.host_ram_bytes / MiB:.0f} MB)"
+        )
+        print(
+            f"  baseline (no reclaim): "
+            f"{baseline.bytes_in_use / MiB:.0f} MB in use, "
+            f"throughput x{baseline.throughput_fraction:.3f}"
+        )
+        for arm in sorted(family.arms):
+            result = family.arms[arm]
+            freed = family.physically_freed_bytes[arm]
+            honest = "ok" if family.savings_honest(arm) else "OVERCLAIMED"
+            print(
+                f"  {arm:>11}: claimed {result.claimed_saved_bytes / MiB:6.1f} MB "
+                f"(freed {freed / MiB:6.1f} MB, {honest}), "
+                f"throughput x{result.throughput_fraction:.3f}"
+            )
+            if result.validation_codes:
+                print(
+                    f"{'':>13}validation: "
+                    + ", ".join(result.validation_codes)
+                )
+    dishonest = [
+        arm for arm in family.arms if not family.savings_honest(arm)
+    ]
+    invalid = [
+        arm for arm in family.arms if family.arms[arm].validation_codes
+    ]
+    if dishonest or invalid:
+        if dishonest:
+            print(
+                "error: arms claiming more savings than physically "
+                f"freed: {', '.join(sorted(dishonest))}",
+                file=sys.stderr,
+            )
+        if invalid:
+            print(
+                "error: arms with validation findings: "
+                f"{', '.join(sorted(invalid))}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _run_cache(args) -> None:
     cache = (
         ResultCache(root=args.cache_dir)
@@ -522,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run_doctor(args)
         elif command == "fleet":
             return _run_fleet(args)
+        elif command == "pressure":
+            return _run_pressure(args)
         elif command == "cache":
             _run_cache(args)
         elif command == "scenario":

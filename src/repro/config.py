@@ -79,6 +79,71 @@ class KsmSettings:
     scan_policy: str = "full"
 
 
+#: Tiering modes accepted by :class:`TieringSettings` and the CLI.
+TIERING_MODES = ("off", "hints", "compress", "balloon", "combined")
+
+
+@dataclass(frozen=True)
+class TieringSettings:
+    """Working-set-driven memory tiering (ROADMAP item 2).
+
+    Drives :class:`repro.tiering.TieringEngine`: every ``epoch_ticks``
+    workload ticks the PML-style dirty logs are folded into the
+    working-set estimator, and the selected actions run on the resulting
+    hot/cold split.
+
+    ``mode`` selects which actions are active:
+
+    * ``"off"`` — estimator only (queries still work, nothing acts);
+    * ``"hints"`` — feed cold regions to the KSM scanner's incremental
+      policies;
+    * ``"compress"`` — compress cold pages into the host pool;
+    * ``"balloon"`` — balloon guests proportionally to their cold bytes;
+    * ``"combined"`` — hints + compress + balloon together.
+    """
+
+    mode: str = "off"
+    epoch_ticks: int = 2
+    decay: float = 0.75
+    hot_threshold: float = 1.0
+    #: Max pages compressed per epoch across all guests (0 = unlimited).
+    compress_pages_per_epoch: int = 512
+    #: Only act when the host is within this many bytes of capacity
+    #: (0 = act on any pressure; negative never happens).
+    pressure_reserve_bytes: int = 0
+    #: Guest-allocatable pages the balloon must leave behind.
+    balloon_min_free_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in TIERING_MODES:
+            raise ValueError(
+                f"unknown tiering mode {self.mode!r}; "
+                f"expected one of {TIERING_MODES}"
+            )
+        if self.epoch_ticks <= 0:
+            raise ValueError("epoch_ticks must be positive")
+        if not 0.0 < self.decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        if self.hot_threshold <= 0.0:
+            raise ValueError("hot_threshold must be positive")
+        if self.compress_pages_per_epoch < 0:
+            raise ValueError("compress_pages_per_epoch must be >= 0")
+        if self.balloon_min_free_pages < 0:
+            raise ValueError("balloon_min_free_pages must be >= 0")
+
+    @property
+    def hints_enabled(self) -> bool:
+        return self.mode in ("hints", "combined")
+
+    @property
+    def compress_enabled(self) -> bool:
+        return self.mode in ("compress", "combined")
+
+    @property
+    def balloon_enabled(self) -> bool:
+        return self.mode in ("balloon", "combined")
+
+
 @dataclass(frozen=True)
 class GuestConfig:
     """Table II: one guest VM."""

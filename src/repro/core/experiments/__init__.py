@@ -19,6 +19,14 @@ from repro.core.experiments.consolidation import (
     run_daytrader_consolidation,
     run_specj_consolidation,
 )
+from repro.core.experiments.pressure import (
+    PRESSURE_ARMS,
+    PressureArmRequest,
+    PressureArmResult,
+    PressureFamilyResult,
+    run_pressure_arm,
+    run_pressure_family,
+)
 
 __all__ = [
     "GuestSpec",
@@ -35,4 +43,10 @@ __all__ = [
     "ConsolidationResult",
     "run_daytrader_consolidation",
     "run_specj_consolidation",
+    "PRESSURE_ARMS",
+    "PressureArmRequest",
+    "PressureArmResult",
+    "PressureFamilyResult",
+    "run_pressure_arm",
+    "run_pressure_family",
 ]

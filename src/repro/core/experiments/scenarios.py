@@ -91,6 +91,7 @@ def run_scenario(
     seed: int = 20130421,
     faults: Optional[FaultPlan] = None,
     scan_policy: str = "full",
+    tiering: str = "off",
 ) -> ScenarioResult:
     """Build, run and analyse one breakdown scenario.
 
@@ -99,7 +100,9 @@ def run_scenario(
     ``faults`` plan, collection runs in resilient mode and the result
     carries the collection and validation reports.  ``scan_policy``
     selects the KSM scan policy ("full", the paper's configuration, or
-    the dirty-log-driven "incremental"/"hybrid").
+    the dirty-log-driven "incremental"/"hybrid").  ``tiering`` enables
+    the working-set tiering engine ("off", "hints", "compress",
+    "balloon" or "combined").
     """
     specs = _guest_specs(scenario, scale)
     config = TestbedConfig(
@@ -109,6 +112,10 @@ def run_scenario(
         scale=scale,
     )
     config.ksm = replace(config.ksm, scan_policy=scan_policy)
+    if tiering != "off":
+        from repro.config import TieringSettings
+
+        config.tiering = TieringSettings(mode=tiering)
     if scale < 1.0:
         config.host_ram_bytes = max(
             int(config.host_ram_bytes * scale), 64 * 1024 * 1024
@@ -152,6 +159,7 @@ class ScenarioRequest:
     seed: int = 20130421
     scan_policy: str = "full"
     faults: Optional[FaultPlan] = None
+    tiering: str = "off"
 
     def cache_parts(self):
         """Input parts for :meth:`repro.exec.ResultCache.key`."""
@@ -168,6 +176,7 @@ def run_scenario_request(request: ScenarioRequest) -> ScenarioResult:
         seed=request.seed,
         faults=request.faults,
         scan_policy=request.scan_policy,
+        tiering=request.tiering,
     )
 
 

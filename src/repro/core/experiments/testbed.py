@@ -19,7 +19,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import JvmConfig, KsmSettings
+from repro.config import JvmConfig, KsmSettings, TieringSettings
 from repro.core.accounting import (
     OwnerAccounting,
     apply_degradation,
@@ -75,6 +75,11 @@ class TestbedConfig:
     #: Size factor applied to the system daemons (set alongside
     #: ``scale_workload`` when building shrunk test configurations).
     scale: float = 1.0
+    #: Working-set tiering; None leaves the engine out entirely.
+    tiering: Optional[TieringSettings] = None
+    #: The pressure-scenario family disables KSM on its non-TPS arms so
+    #: compression and ballooning compete without sharing in the mix.
+    ksm_enabled: bool = True
 
 
 @dataclass
@@ -191,6 +196,8 @@ class KvmTestbed:
         self._provisioner = CacheProvisioner(
             cfg.deployment, cfg.page_size, self.host.rng.derive("preload")
         )
+        #: Created during build() when config.tiering is set.
+        self.tiering = None
         self._built = False
         self._ran = False
 
@@ -224,6 +231,10 @@ class KvmTestbed:
             jvm.startup()
             self.jvms[spec.name] = jvm
             vm.allocate_overhead(cfg.qemu_overhead_bytes)
+        if cfg.tiering is not None:
+            from repro.tiering import TieringEngine
+
+            self.tiering = TieringEngine(self.host, self.kernels, cfg.tiering)
         self._built = True
 
     def _spawn_system_processes(self, kernel: GuestKernel) -> None:
@@ -281,12 +292,19 @@ class KvmTestbed:
             self.build()
         if self._ran:
             raise RuntimeError("testbed already ran")
-        self.warmup()
+        if self.config.ksm_enabled:
+            self.warmup()
         tick_ms = int(self.config.tick_minutes * 60_000)
         for _ in range(self.config.measurement_ticks):
             for jvm in self.jvms.values():
                 jvm.tick()
-            self.host.ksm.run_for_ms(tick_ms)
+            if self.tiering is not None:
+                self.tiering.tick()
+            if self.config.ksm_enabled:
+                self.host.ksm.run_for_ms(tick_ms)
+            else:
+                # Keep the simulated clock comparable across arms.
+                self.host.clock.advance(tick_ms)
         self._ran = True
 
     def measure(

@@ -55,6 +55,9 @@ SEVERITY_BY_CODE: Dict[str, Severity] = {
     "no-analyzable-guests": Severity.FATAL,
     "ksm-volatility-leak": Severity.WARNING,
     "ksm-duplicate-table-name": Severity.ERROR,
+    # Compressed-pool / host-memory consistency.
+    "compression-pool-mismatch": Severity.ERROR,
+    "compression-stats-drift": Severity.ERROR,
     # Fleet invariants (checked after every chaos event).
     "fleet-vm-lost": Severity.FATAL,
     "fleet-vm-double-placed": Severity.FATAL,
@@ -463,6 +466,44 @@ def validate_fleet(fleet, savings=None) -> ValidationReport:
                 f"savings bounds insane: lower={savings.lower_bytes}, "
                 f"upper={savings.upper_bytes}",
             )
+    report.sort()
+    return report
+
+
+def validate_compression(physmem, stores) -> ValidationReport:
+    """Check compressed-pool vs host-memory accounting consistency.
+
+    Duck-typed against :class:`repro.mem.physmem.HostPhysicalMemory` and
+    any iterable of :class:`repro.mem.compression.CompressedRamStore`
+    objects backed by it:
+
+    * ``compression-pool-mismatch`` — the bytes the host charges for side
+      pools differ from what the stores' pool entries actually hold, i.e.
+      compressed memory is vanishing from (or being double-counted in)
+      ``bytes_in_use``;
+    * ``compression-stats-drift`` — a store's running
+      ``bytes_stored_compressed`` counter disagrees with a recount of its
+      own pool entries.
+    """
+    report = ValidationReport()
+    audited_total = 0
+    for store in stores:
+        audited = store.audit_pool_bytes()
+        audited_total += audited
+        if audited != store.stats.bytes_stored_compressed:
+            report.add(
+                "compression-stats-drift", "",
+                f"store counter says "
+                f"{store.stats.bytes_stored_compressed} B compressed but "
+                f"its pool entries sum to {audited} B",
+                count=store.pool_pages,
+            )
+    if audited_total != physmem.pool_bytes:
+        report.add(
+            "compression-pool-mismatch", "",
+            f"host charges {physmem.pool_bytes} B of pool memory but the "
+            f"compressed stores hold {audited_total} B",
+        )
     report.sort()
     return report
 

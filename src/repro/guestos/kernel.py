@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.guestos.pagecache import BackingFile, PageCache
 from repro.hypervisor.base import GuestVmBase
@@ -105,6 +105,9 @@ class GuestKernel:
         self._next_pid = pid_base
         self._kernel_pages: Dict[str, List[int]] = {}
         self._booted = False
+        # Deflate-on-OOM hook (virtio-balloon's F_DEFLATE_ON_OOM): called
+        # when the allocator runs dry; returns True if it freed pages.
+        self._oom_handler: Optional[Callable[[], bool]] = None
 
     # ------------------------------------------------------------------
     # Guest-physical allocation
@@ -114,8 +117,28 @@ class GuestKernel:
     def total_pages(self) -> int:
         return self._npages
 
+    @property
+    def free_pages(self) -> int:
+        """Guest-physical pages allocatable right now without reclaim."""
+        return len(self._free_gfns) + (self._npages - self._next_gfn)
+
+    def set_oom_handler(self, handler: Optional[Callable[[], bool]]) -> None:
+        """Install a last-resort reclaimer for allocation failures.
+
+        The balloon driver registers its deflate path here (virtio's
+        deflate-on-OOM): when the allocator runs dry the handler may
+        return pages to the free list and return True to retry.
+        """
+        self._oom_handler = handler
+
     def alloc_gfn(self, owner: PageOwner) -> int:
         """Allocate one guest-physical page and record its owner."""
+        if not self._free_gfns and self._next_gfn >= self._npages:
+            if self._oom_handler is None or not self._oom_handler():
+                raise OutOfGuestMemoryError(
+                    f"{self.vm.name}: guest memory exhausted "
+                    f"({self._npages} pages)"
+                )
         if self._free_gfns:
             gfn = self._free_gfns.pop()
         else:

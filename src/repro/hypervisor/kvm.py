@@ -126,24 +126,36 @@ class KvmGuestVm(GuestVmBase):
             )
         return self._slot.to_host_vpn(gfn)
 
+    def _fault_in_compressed(self, vpn: int) -> None:
+        """Restore ``vpn`` from the compressed pool before an access.
+
+        The decompress fault of paging-to-RAM: any touch of a compressed
+        page first pays the restore (frame re-allocated, CPU cost charged
+        to the store's stats) — otherwise a plain write would silently
+        shadow the pooled copy and double-count the memory.
+        """
+        store = self.host.compression
+        if store is not None and store.is_compressed(self.page_table, vpn):
+            store.access_page(self.page_table, vpn)
+
     def write_gfn(self, gfn: int, token: int) -> None:
-        self.host.physmem.write_token(
-            self.page_table, self._host_vpn(gfn), token
-        )
+        vpn = self._host_vpn(gfn)
+        self._fault_in_compressed(vpn)
+        self.host.physmem.write_token(self.page_table, vpn, token)
 
     def write_gfn_filebacked(self, gfn: int, token: int) -> None:
         """Page-cache fill: goes through Satori when the host enables it."""
+        vpn = self._host_vpn(gfn)
+        self._fault_in_compressed(vpn)
         if self.host.satori is not None:
-            self.host.satori.fill_page(
-                self.page_table, self._host_vpn(gfn), token
-            )
+            self.host.satori.fill_page(self.page_table, vpn, token)
         else:
-            self.write_gfn(gfn, token)
+            self.host.physmem.write_token(self.page_table, vpn, token)
 
     def read_gfn(self, gfn: int) -> Optional[int]:
-        return self.host.physmem.read_token(
-            self.page_table, self._host_vpn(gfn)
-        )
+        vpn = self._host_vpn(gfn)
+        self._fault_in_compressed(vpn)
+        return self.host.physmem.read_token(self.page_table, vpn)
 
     def host_frame_of_gfn(self, gfn: int) -> Optional[int]:
         return self.page_table.translate(self._host_vpn(gfn))
@@ -151,6 +163,10 @@ class KvmGuestVm(GuestVmBase):
     def release_gfn(self, gfn: int) -> None:
         """Discard the host backing of ``gfn`` (guest freed + ballooned)."""
         vpn = self._host_vpn(gfn)
+        store = self.host.compression
+        if store is not None and store.is_compressed(self.page_table, vpn):
+            # A ballooned-out page needs no restore: drop the pooled copy.
+            store.drop_page(self.page_table, vpn)
         if self.page_table.is_mapped(vpn):
             self.host.physmem.unmap(self.page_table, vpn)
 
@@ -215,6 +231,9 @@ class KvmHost(HypervisorHost):
         self.ksm = KsmScanner(self.physmem, self.clock, ksm_config)
         #: Optional Satori-style sharing-aware block device (§VI).
         self.satori = None
+        #: Optional compressed-RAM store; when attached, guest accesses to
+        #: compressed pages fault through it (see ``_fault_in_compressed``).
+        self.compression = None
         self._guests: List[KvmGuestVm] = []
         self._host_kernel_table = PageTable("host:kernel")
         self._host_kernel_bytes = 0
@@ -230,6 +249,14 @@ class KvmHost(HypervisorHost):
         if self.satori is None:
             self.satori = SatoriRegistry(self.physmem)
         return self.satori
+
+    def enable_compression(self):
+        """Attach a compressed-RAM store for cold guest pages (§VI)."""
+        from repro.mem.compression import CompressedRamStore
+
+        if self.compression is None:
+            self.compression = CompressedRamStore(self.physmem)
+        return self.compression
 
     def allocate_host_kernel(self, num_bytes: int) -> None:
         """Touch host-kernel memory (never a KSM candidate)."""

@@ -153,6 +153,10 @@ class KsmScanner:
         self._full_cache: Dict[PageTable, Tuple[int, List[int]]] = {}
         # INCREMENTAL: pages owing the volatility filter a second look.
         self._recheck: Dict[PageTable, Set[int]] = {}
+        # Cold-region hints from the tiering layer: quiescent pages whose
+        # writes predate the dirty log, queued for the next incremental
+        # pass (a full pass subsumes and clears them).
+        self._cold_hints: Dict[PageTable, Set[int]] = {}
         # Pass bookkeeping: pages examined in the pass in progress, the
         # number of completed (non-silent) passes, and whether the pass
         # in progress walks everything or just the dirty logs.
@@ -176,6 +180,7 @@ class KsmScanner:
         self._tables.append(table)
         self._last_tokens[table] = {}
         self._recheck[table] = set()
+        self._cold_hints[table] = set()
 
     def unregister(self, table: PageTable) -> None:
         """Stop scanning ``table`` (existing merges stay in place)."""
@@ -184,6 +189,7 @@ class KsmScanner:
                 del self._tables[index]
                 self._last_tokens.pop(table, None)
                 self._recheck.pop(table, None)
+                self._cold_hints.pop(table, None)
                 self._full_cache.pop(table, None)
                 # Unstable candidates pointing into this table must not
                 # survive it: a later identical page would merge against
@@ -311,10 +317,13 @@ class KsmScanner:
         # A full pass subsumes whatever the dirty log holds; discard it
         # so the log stays bounded even when no incremental pass runs.
         table.clear_dirty()
-        # The full walk also supersedes any pending rechecks.
+        # The full walk also supersedes any pending rechecks and hints.
         recheck = self._recheck.get(table)
         if recheck:
             recheck.clear()
+        hints = self._cold_hints.get(table)
+        if hints:
+            hints.clear()
         self._scan_list = vpns
         self._scan_pos = 0
 
@@ -349,6 +358,10 @@ class KsmScanner:
         if recheck:
             due.update(vpn for vpn in recheck if table.is_mapped(vpn))
             recheck.clear()
+        hints = self._cold_hints[table]
+        if hints:
+            due.update(vpn for vpn in hints if table.is_mapped(vpn))
+            hints.clear()
         self._scan_list = sorted(due)
         self._scan_pos = 0
 
@@ -451,6 +464,32 @@ class KsmScanner:
                 shared += 1
                 sharing += frame.refcount
         self.history.append((self.clock.now_ms, shared, sharing))
+
+    # ------------------------------------------------------------------
+    # Cold-region hints (fed by the tiering layer)
+    # ------------------------------------------------------------------
+
+    def hint_cold(self, table: PageTable, vpns) -> int:
+        """Queue quiescent ``vpns`` for the next incremental pass.
+
+        The working-set estimator knows which regions went quiet *before*
+        the dirty log could say so (the log only reports writes); hinting
+        them lets the INCREMENTAL/HYBRID policies examine exactly the
+        pages most likely to pass the volatility filter.  Returns the
+        number of hints queued.  Hints are merged into the next
+        incremental worklist and are subsumed (cleared) by a full pass,
+        so FULL-policy behaviour is untouched.
+        """
+        hints = self._cold_hints.get(table)
+        if hints is None:
+            raise ValueError(f"table {table.name!r} is not registered")
+        before = len(hints)
+        hints.update(vpn for vpn in vpns if table.is_mapped(vpn))
+        return len(hints) - before
+
+    def pending_cold_hints(self, table: PageTable) -> int:
+        """Hinted vpns not yet consumed by a pass (introspection)."""
+        return len(self._cold_hints.get(table, ()))
 
     # ------------------------------------------------------------------
     # Time-based driving

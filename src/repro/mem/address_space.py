@@ -26,7 +26,7 @@ bounded by the number of distinct pages touched since the last drain.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class PageTable:
@@ -36,7 +36,7 @@ class PageTable:
     ``"host:qemu-vm1"`` or ``"vm1:pid42"``.
     """
 
-    __slots__ = ("name", "_entries", "_dirty", "_version")
+    __slots__ = ("name", "_entries", "_dirty", "_version", "_dirty_sinks")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -47,6 +47,10 @@ class PageTable:
         # pre-sorted worklists across passes.
         self._dirty: Dict[int, None] = {}
         self._version = 0
+        # Secondary PML consumers (e.g. the working-set estimator): each
+        # sink is a callable fed every dirty vpn, independently of — and
+        # unaffected by — the scanner draining the primary log.
+        self._dirty_sinks: List[Callable[[int], None]] = []
 
     def map(self, vpn: int, pfn: int) -> None:
         """Install a translation; the slot must currently be empty."""
@@ -57,7 +61,7 @@ class PageTable:
             )
         self._entries[vpn] = pfn
         self._version += 1
-        self._dirty[vpn] = None
+        self._note_dirty(vpn)
 
     def remap(self, vpn: int, pfn: int) -> int:
         """Replace an existing translation; returns the previous pfn.
@@ -81,7 +85,7 @@ class PageTable:
         except KeyError:
             raise KeyError(f"{self.name}: vpn {vpn:#x} is not mapped") from None
         self._version += 1
-        self._dirty[vpn] = None
+        self._note_dirty(vpn)
         return pfn
 
     def translate(self, vpn: int) -> Optional[int]:
@@ -116,7 +120,29 @@ class PageTable:
 
     def log_dirty(self, vpn: int) -> None:
         """Record that the content visible at ``vpn`` may have changed."""
+        self._note_dirty(vpn)
+
+    def _note_dirty(self, vpn: int) -> None:
         self._dirty[vpn] = None
+        for sink in self._dirty_sinks:
+            sink(vpn)
+
+    def attach_dirty_sink(self, sink: Callable[[int], None]) -> None:
+        """Register a secondary consumer of the dirty-vpn stream.
+
+        Sinks observe every logged vpn at logging time, so they are not
+        affected by (and do not interfere with) :meth:`drain_dirty` /
+        :meth:`clear_dirty`, which only manage the scanner's primary log.
+        """
+        if sink not in self._dirty_sinks:
+            self._dirty_sinks.append(sink)
+
+    def detach_dirty_sink(self, sink: Callable[[int], None]) -> None:
+        """Remove a previously attached sink (no-op when absent)."""
+        try:
+            self._dirty_sinks.remove(sink)
+        except ValueError:
+            pass
 
     @property
     def dirty_count(self) -> int:

@@ -94,6 +94,7 @@ class CompressedRamStore:
         compressed = int(page_size * compressed_fraction(token))
         self.physmem.unmap(table, vpn)
         self._pool[key] = (token, compressed)
+        self.physmem.charge_pool_bytes(compressed)
         self.stats.pages_compressed += 1
         self.stats.bytes_stored_raw += page_size
         self.stats.bytes_stored_compressed += compressed
@@ -116,18 +117,40 @@ class CompressedRamStore:
                 f"{table.name}: vpn {vpn:#x} is not in the compressed pool"
             ) from None
         page_size = self.physmem.page_size
+        self.physmem.release_pool_bytes(compressed)
         self.stats.pages_restored += 1
         self.stats.bytes_stored_raw -= page_size
         self.stats.bytes_stored_compressed -= compressed
         self.stats.cpu_us += self.decompress_us
         return self.physmem.map_token(table, vpn, token)
 
+    def drop_page(self, table: PageTable, vpn: int) -> None:
+        """Discard a compressed page without restoring it.
+
+        Used when the guest frees/balloons a page whose only copy lives in
+        the pool: the content is dead, so no decompression is owed, but
+        the pool bytes must still be returned to the host.
+        """
+        key = (table.name, vpn)
+        try:
+            _, compressed = self._pool.pop(key)
+        except KeyError:
+            raise KeyError(
+                f"{table.name}: vpn {vpn:#x} is not in the compressed pool"
+            ) from None
+        page_size = self.physmem.page_size
+        self.physmem.release_pool_bytes(compressed)
+        self.stats.bytes_stored_raw -= page_size
+        self.stats.bytes_stored_compressed -= compressed
+
     # ------------------------------------------------------------------
 
     def sweep(self, table: PageTable, limit: Optional[int] = None) -> int:
         """Compress every (non-stable) mapped page of ``table``.
 
-        Returns total bytes saved.  ``limit`` caps the number of pages.
+        Returns total bytes saved.  ``limit`` caps the number of pages
+        actually moved into the pool; pages :meth:`compress_page` skips
+        (KSM-stable frames) do not consume the budget.
         """
         saved = 0
         count = 0
@@ -137,7 +160,8 @@ class CompressedRamStore:
             if self.is_compressed(table, vpn):
                 continue
             saved += self.compress_page(table, vpn)
-            count += 1
+            if self.is_compressed(table, vpn):
+                count += 1
         return saved
 
     @property
@@ -147,3 +171,12 @@ class CompressedRamStore:
     @property
     def pool_bytes(self) -> int:
         return self.stats.bytes_stored_compressed
+
+    def audit_pool_bytes(self) -> int:
+        """Recount pool bytes from the pool entries themselves.
+
+        Ground truth for the ``validate`` invariant: must equal both
+        :attr:`pool_bytes` (the running counter) and the share this store
+        charged to :attr:`HostPhysicalMemory.pool_bytes`.
+        """
+        return sum(compressed for _, compressed in self._pool.values())

@@ -54,6 +54,7 @@ class HostPhysicalMemory:
         self._next_fid = 1
         self._cow_breaks = 0
         self._frames_ever_allocated = 0
+        self._pool_bytes = 0
 
     # ------------------------------------------------------------------
     # Frame-level primitives
@@ -173,6 +174,37 @@ class HostPhysicalMemory:
         return old_fid
 
     # ------------------------------------------------------------------
+    # Side pools (compressed RAM stores)
+    # ------------------------------------------------------------------
+
+    def charge_pool_bytes(self, num_bytes: int) -> None:
+        """Charge ``num_bytes`` of non-frame storage to the host.
+
+        Compressed-RAM pools live in host physical memory too; without
+        this charge, compressing a page would make its memory vanish from
+        the host's books entirely and overstate the savings.
+        """
+        if num_bytes < 0:
+            raise ValueError("pool charge must be non-negative")
+        self._pool_bytes += num_bytes
+
+    def release_pool_bytes(self, num_bytes: int) -> None:
+        """Return previously charged pool bytes (e.g. on decompression)."""
+        if num_bytes < 0:
+            raise ValueError("pool release must be non-negative")
+        if num_bytes > self._pool_bytes:
+            raise AssertionError(
+                f"releasing {num_bytes} pool bytes but only "
+                f"{self._pool_bytes} are charged"
+            )
+        self._pool_bytes -= num_bytes
+
+    @property
+    def pool_bytes(self) -> int:
+        """Bytes currently charged by side pools (compressed stores)."""
+        return self._pool_bytes
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
 
@@ -182,7 +214,7 @@ class HostPhysicalMemory:
 
     @property
     def bytes_in_use(self) -> int:
-        return len(self._frames) * self.page_size
+        return len(self._frames) * self.page_size + self._pool_bytes
 
     @property
     def bytes_free(self) -> int:

@@ -6,10 +6,12 @@ from repro.perf.throughput import (
     DayTraderThroughputModel,
     SpecjScoreModel,
 )
+from repro.perf.tiercost import TieringCostModel
 
 __all__ = [
     "PagingModel",
     "DayTraderThroughputModel",
     "SpecjScoreModel",
+    "TieringCostModel",
     "scan_cost_ms",
 ]

@@ -1,0 +1,64 @@
+"""Pricing the tiering actions (decompress faults, balloon reclaim).
+
+The §VI alternatives to TPS are not free: every access to a compressed
+page pays a decompress fault (Difference Engine reports tens of µs per
+page), and a ballooned guest pays reclaim work plus refaults on the page
+cache it dropped.  The :class:`TieringCostModel` turns the counters the
+simulation already keeps — restore events from the
+:class:`~repro.mem.compression.CompressedRamStore` stats, reclaimed bytes
+from the balloon plans — into a throughput multiplier that composes with
+the :class:`~repro.perf.paging.PagingModel` penalty, so the pressure
+scenarios can draw Fig.-7-style curves where savings and slowdowns come
+from the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import MiB
+
+__all__ = ["TieringCostModel"]
+
+
+@dataclass
+class TieringCostModel:
+    """Throughput cost of decompress faults and balloon reclaim."""
+
+    #: Wall-clock window the priced counters were collected over.
+    window_ms: float
+    #: CPU-µs of compression/decompression work per unit of lost
+    #: throughput; the store's ``stats.cpu_us`` counter feeds this.
+    compression_cpu_weight: float = 1.0
+    #: Reclaim + refault cost per ballooned MiB (ms of lost service time).
+    balloon_ms_per_mib: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if self.compression_cpu_weight < 0:
+            raise ValueError("compression_cpu_weight must be >= 0")
+        if self.balloon_ms_per_mib < 0:
+            raise ValueError("balloon_ms_per_mib must be >= 0")
+
+    def compression_penalty(self, store_cpu_us: float) -> float:
+        """Multiplier in (0, 1] for compression CPU spent in the window."""
+        if store_cpu_us <= 0:
+            return 1.0
+        busy_ms = store_cpu_us * self.compression_cpu_weight / 1000.0
+        return self.window_ms / (self.window_ms + busy_ms)
+
+    def balloon_penalty(self, reclaimed_bytes: int) -> float:
+        """Multiplier in (0, 1] for balloon reclaim done in the window."""
+        if reclaimed_bytes <= 0:
+            return 1.0
+        busy_ms = (reclaimed_bytes / MiB) * self.balloon_ms_per_mib
+        return self.window_ms / (self.window_ms + busy_ms)
+
+    def penalty(
+        self, store_cpu_us: float = 0.0, reclaimed_bytes: int = 0
+    ) -> float:
+        """Combined tiering multiplier (composes with paging penalty)."""
+        return self.compression_penalty(store_cpu_us) * self.balloon_penalty(
+            reclaimed_bytes
+        )

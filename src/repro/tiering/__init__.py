@@ -1,0 +1,15 @@
+"""Working-set-driven memory tiering (ROADMAP item 2).
+
+The paper's §VI surveys the alternatives to transparent page sharing —
+ballooning and paging-to-RAM compression — but none of them is useful
+without knowing *which* memory is cold.  This package supplies the
+missing policy layer: a :class:`~repro.mem.workingset.WorkingSetEstimator`
+fed from the PML-style dirty logs decides hot vs cold, and the
+:class:`TieringEngine` acts on the split each epoch — compressing cold
+pages, ballooning guests with small working sets, and hinting quiescent
+regions to the KSM scanner.
+"""
+
+from repro.tiering.engine import TieringAction, TieringEngine, TieringSummary
+
+__all__ = ["TieringEngine", "TieringAction", "TieringSummary"]

@@ -89,6 +89,37 @@ class TestBalloonDriver:
         reclaimed = balloon.inflate(64 * PAGE)  # more than the guest has
         assert reclaimed <= 16 * PAGE
 
+    def test_min_free_pages_keeps_headroom(self, host):
+        vm, kernel = make_guest(host, memory=16 * PAGE)
+        balloon = BalloonDriver(vm, kernel)
+        balloon.inflate(64 * PAGE, min_free_pages=4)
+        assert kernel.free_pages >= 4
+        # The spared headroom is still allocatable.
+        for _ in range(4):
+            kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="w"))
+
+    def test_deflate_on_oom_rescues_allocation(self, host):
+        """virtio-balloon F_DEFLATE_ON_OOM: an allocation that would fail
+        pops the balloon instead of OOM-killing the guest."""
+        vm, kernel = make_guest(host, memory=16 * PAGE)
+        balloon = BalloonDriver(vm, kernel)
+        balloon.inflate(16 * PAGE)  # swallow the whole guest
+        assert kernel.free_pages == 0
+        gfn = kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="late"))
+        assert gfn is not None
+        assert balloon.oom_deflates == 1
+        assert balloon.inflated_pages < 16
+
+    def test_oom_raises_when_balloon_empty(self, host):
+        from repro.guestos.kernel import OutOfGuestMemoryError
+
+        vm, kernel = make_guest(host, memory=4 * PAGE)
+        BalloonDriver(vm, kernel)  # installs the handler; balloon empty
+        for _ in range(4):
+            kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="fill"))
+        with pytest.raises(OutOfGuestMemoryError):
+            kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="one-more"))
+
 
 class TestBalloonManager:
     def test_noop_when_host_fits(self, host):
@@ -122,3 +153,100 @@ class TestBalloonManager:
         manager.attach(driver)
         with pytest.raises(ValueError):
             manager.attach(BalloonDriver(vm, kernel))
+
+    def _pressured_host_two_guests(self):
+        host = KvmHost(1 * MiB, seed=5)
+        guests = {}
+        for name in ("vm1", "vm2"):
+            vm, kernel = make_guest(host, name, memory=1 * MiB)
+            gfns = []
+            for _ in range(256):
+                gfn = kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+                vm.write_gfn(gfn, 7)
+                gfns.append(gfn)
+            for gfn in gfns:
+                kernel.free_gfn(gfn)
+            guests[name] = (vm, kernel)
+        assert host.physmem.overcommitted_bytes > 0
+        return host, guests
+
+    def test_plans_report_true_cumulative_ask(self):
+        """Regression: target_bytes must sum exactly the inflate requests
+        issued to the guest — not a per-round estimate."""
+        host, guests = self._pressured_host_two_guests()
+        manager = BalloonManager(host)
+        issued = {}
+        for name, (vm, kernel) in guests.items():
+            driver = BalloonDriver(vm, kernel)
+            original = driver.inflate
+            issued[name] = []
+
+            def spy(num_bytes, min_free_pages=0, _orig=original, _log=issued[name]):
+                _log.append(num_bytes)
+                return _orig(num_bytes, min_free_pages)
+
+            driver.inflate = spy
+            manager.attach(driver)
+        plans = {p.vm_name: p for p in manager.rebalance()}
+        for name in guests:
+            assert plans[name].target_bytes == sum(issued[name])
+
+    def test_zero_reclaim_guests_still_in_plans(self):
+        """Regression: a guest asked to balloon but unable to reclaim
+        must appear in the plans (reclaimed_bytes == 0), so callers can
+        see the deficit is unresolvable."""
+        host = KvmHost(1 * MiB, seed=5)
+        # vm1: every page still in use — nothing the balloon can take.
+        vm1, kernel1 = make_guest(host, "vm1", memory=1 * MiB)
+        for _ in range(256):
+            gfn = kernel1.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+            vm1.write_gfn(gfn, 7)
+        # vm2: same footprint, but freed in the guest (host still pays).
+        vm2, kernel2 = make_guest(host, "vm2", memory=1 * MiB)
+        gfns = []
+        for _ in range(256):
+            gfn = kernel2.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+            vm2.write_gfn(gfn, 7)
+            gfns.append(gfn)
+        for gfn in gfns:
+            kernel2.free_gfn(gfn)
+        assert host.physmem.overcommitted_bytes > 0
+        manager = BalloonManager(host)
+        manager.attach(BalloonDriver(vm1, kernel1))
+        manager.attach(BalloonDriver(vm2, kernel2))
+        plans = {p.vm_name: p for p in manager.rebalance()}
+        assert set(plans) == {"vm1", "vm2"}
+        assert plans["vm1"].reclaimed_bytes == 0
+        assert plans["vm1"].target_bytes > 0
+        assert plans["vm2"].reclaimed_bytes > 0
+
+    def test_weights_steer_the_squeeze(self):
+        host, guests = self._pressured_host_two_guests()
+        manager = BalloonManager(host)
+        drivers = {}
+        for name, (vm, kernel) in guests.items():
+            drivers[name] = BalloonDriver(vm, kernel)
+            manager.attach(drivers[name])
+        plans = {
+            p.vm_name: p
+            for p in manager.rebalance(
+                weights={"vm1": 1_000_000, "vm2": 1}, max_rounds=1
+            )
+        }
+        assert plans["vm1"].target_bytes > plans["vm2"].target_bytes
+        assert (
+            drivers["vm1"].inflated_pages > drivers["vm2"].inflated_pages
+        )
+
+    def test_zero_weight_guests_never_asked(self):
+        host, guests = self._pressured_host_two_guests()
+        manager = BalloonManager(host)
+        for name, (vm, kernel) in guests.items():
+            manager.attach(BalloonDriver(vm, kernel))
+        plans = {
+            p.vm_name: p
+            for p in manager.rebalance(weights={"vm1": 0, "vm2": 1})
+        }
+        assert plans["vm1"].target_bytes == 0
+        assert plans["vm1"].reclaimed_bytes == 0
+        assert plans["vm2"].reclaimed_bytes > 0

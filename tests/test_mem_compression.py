@@ -98,6 +98,44 @@ class TestCompressRestore:
         assert 0 < store.pool_bytes < 4 * PAGE
         assert store.stats.bytes_saved == 4 * PAGE - store.pool_bytes
 
+    def test_pool_bytes_charged_to_host(self, env):
+        """Compressing must not make memory vanish: the pool's bytes stay
+        on the host's books until the page is restored or dropped."""
+        pm, table, store = env
+        pm.map_token(table, 0, 7)
+        before = pm.bytes_in_use
+        store.compress_page(table, 0)
+        assert pm.pool_bytes == store.pool_bytes
+        assert pm.bytes_in_use == before - PAGE + store.pool_bytes
+        store.access_page(table, 0)
+        assert pm.pool_bytes == 0
+        assert pm.bytes_in_use == before
+
+    def test_drop_page_releases_pool_charge(self, env):
+        pm, table, store = env
+        pm.map_token(table, 0, 7)
+        store.compress_page(table, 0)
+        store.drop_page(table, 0)
+        assert not store.is_compressed(table, 0)
+        assert store.pool_pages == 0
+        assert pm.pool_bytes == 0
+        assert pm.bytes_in_use == 0
+
+    def test_drop_uncompressed_rejected(self, env):
+        _pm, table, store = env
+        with pytest.raises(KeyError):
+            store.drop_page(table, 0)
+
+    def test_audit_matches_stats(self, env):
+        pm, table, store = env
+        for vpn in range(6):
+            pm.map_token(table, vpn, vpn + 1)
+            store.compress_page(table, vpn)
+        store.access_page(table, 2)
+        store.drop_page(table, 4)
+        assert store.audit_pool_bytes() == store.pool_bytes
+        assert store.audit_pool_bytes() == pm.pool_bytes
+
 
 class TestSweep:
     def test_sweep_compresses_everything(self, env):
@@ -122,3 +160,25 @@ class TestSweep:
             pm.map_token(table, vpn, ZERO_TOKEN)
         saved = store.sweep(table)
         assert saved > 4 * PAGE * 0.99
+
+    def test_skipped_stable_pages_do_not_consume_limit(self, env):
+        """Regression: a KSM-stable page the sweep refuses to compress
+        must not burn the budget — the limit counts *compressed* pages."""
+        pm, table, store = env
+        for vpn in range(4):  # the stable prefix the old code choked on
+            fid = pm.map_token(table, vpn, 7)
+            pm.get_frame(fid).ksm_stable = True
+        for vpn in range(4, 10):
+            pm.map_token(table, vpn, vpn + 1)
+        store.sweep(table, limit=3)
+        assert store.pool_pages == 3
+        for vpn in range(4):
+            assert not store.is_compressed(table, vpn)
+
+    def test_sweep_of_only_stable_pages_is_a_noop(self, env):
+        pm, table, store = env
+        for vpn in range(5):
+            fid = pm.map_token(table, vpn, 7)
+            pm.get_frame(fid).ksm_stable = True
+        assert store.sweep(table, limit=2) == 0
+        assert store.pool_pages == 0

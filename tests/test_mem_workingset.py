@@ -1,0 +1,169 @@
+"""Unit tests for the PML-driven working-set estimator."""
+
+import pytest
+
+from repro.mem.address_space import PageTable
+from repro.mem.workingset import WorkingSetEstimator
+
+PAGE = 4096
+
+
+@pytest.fixture
+def table():
+    return PageTable("t")
+
+
+@pytest.fixture
+def est(table):
+    estimator = WorkingSetEstimator(PAGE)
+    estimator.track(table)
+    return estimator
+
+
+class TestConstruction:
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            WorkingSetEstimator(0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            WorkingSetEstimator(PAGE, decay=1.0)
+        with pytest.raises(ValueError):
+            WorkingSetEstimator(PAGE, decay=0.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            WorkingSetEstimator(PAGE, hot_threshold=0.0)
+
+
+class TestTracking:
+    def test_track_is_idempotent(self, est, table):
+        est.track(table)
+        est.track(table)
+        assert est.tables() == (table,)
+
+    def test_untrack_detaches_sink(self, est, table):
+        est.untrack(table)
+        table.log_dirty(3)
+        est.advance_epoch()
+        assert est.hot_vpns(table) == ()
+        assert est.tables() == ()
+
+    def test_untrack_unknown_is_noop(self, est):
+        est.untrack(PageTable("other"))
+
+    def test_tables_in_registration_order(self):
+        est = WorkingSetEstimator(PAGE)
+        t1, t2 = PageTable("a"), PageTable("b")
+        est.track(t2)
+        est.track(t1)
+        assert est.tables() == (t2, t1)
+
+
+class TestHeat:
+    def test_dirty_pages_become_hot(self, est, table):
+        table.log_dirty(5)
+        table.log_dirty(9)
+        est.advance_epoch()
+        assert est.hot_vpns(table) == (5, 9)
+        assert est.heat_of(table, 5) == 1.0
+
+    def test_buffer_folds_only_on_epoch(self, est, table):
+        table.log_dirty(5)
+        assert est.hot_vpns(table) == ()  # not folded yet
+        est.advance_epoch()
+        assert est.hot_vpns(table) == (5,)
+
+    def test_heat_decays_when_quiet(self, est, table):
+        table.log_dirty(5)
+        est.advance_epoch()
+        est.advance_epoch()
+        assert est.heat_of(table, 5) == pytest.approx(est.decay)
+        assert est.hot_vpns(table) == ()  # 0.75 < threshold 1.0
+
+    def test_repeated_touches_accumulate(self, est, table):
+        for _ in range(3):
+            table.log_dirty(5)
+            est.advance_epoch()
+        # 1*d^2 + 1*d + 1
+        expected = est.decay**2 + est.decay + 1.0
+        assert est.heat_of(table, 5) == pytest.approx(expected)
+
+    def test_heat_bounded_by_geometric_limit(self, est, table):
+        for _ in range(100):
+            table.log_dirty(5)
+            est.advance_epoch()
+        assert est.heat_of(table, 5) < 1.0 / (1.0 - est.decay)
+
+    def test_untouched_vpn_has_zero_heat(self, est, table):
+        assert est.heat_of(table, 42) == 0.0
+
+    def test_scanner_drain_does_not_starve_estimator(self, est, table):
+        """The estimator is a dirty *sink*: draining the primary log (the
+        INCREMENTAL scanner's prerogative) must not hide writes."""
+        table.log_dirty(7)
+        table.drain_dirty()
+        est.advance_epoch()
+        assert est.hot_vpns(table) == (7,)
+
+
+class TestColdAndWss:
+    def test_cold_vpns_are_mapped_not_hot(self, est, table):
+        table.map(1, 100)
+        table.map(2, 200)
+        table.map(3, 300)
+        est.advance_epoch()  # all three logged dirty by map()
+        assert est.cold_vpns(table) == ()
+        # Keep only vpn 2 warm past the hot window.
+        for _ in range(est.hot_window_epochs()):
+            table.log_dirty(2)
+            est.advance_epoch()
+        assert est.hot_vpns(table) == (2,)
+        assert est.cold_vpns(table) == (1, 3)
+
+    def test_never_dirtied_pages_are_cold(self, est, table):
+        # Map before tracking so the estimator never sees the vpns.
+        other = PageTable("late")
+        other.map(4, 400)
+        est.track(other)
+        assert est.cold_vpns(other) == (4,)
+
+    def test_wss_bytes_counts_hot_pages(self, est, table):
+        table.log_dirty(1)
+        table.log_dirty(2)
+        est.advance_epoch()
+        assert est.wss_bytes(table) == 2 * PAGE
+        assert est.wss_bytes() == 2 * PAGE
+
+    def test_wss_bytes_sums_tables(self, est, table):
+        other = PageTable("o")
+        est.track(other)
+        table.log_dirty(1)
+        other.log_dirty(1)
+        other.log_dirty(2)
+        est.advance_epoch()
+        assert est.wss_bytes(table) == PAGE
+        assert est.wss_bytes(other) == 2 * PAGE
+        assert est.wss_bytes() == 3 * PAGE
+
+
+class TestHotWindow:
+    def test_page_guaranteed_cold_after_window(self, est, table):
+        # Saturate the page's heat, then let it go quiet.
+        for _ in range(50):
+            table.log_dirty(5)
+            est.advance_epoch()
+        for _ in range(est.hot_window_epochs()):
+            est.advance_epoch()
+        assert est.heat_of(table, 5) < est.hot_threshold
+        assert 5 not in est.hot_vpns(table)
+
+    def test_window_positive_for_defaults(self, est):
+        assert est.hot_window_epochs() >= 1
+
+    def test_cooled_entries_pruned(self, est, table):
+        table.log_dirty(5)
+        est.advance_epoch()
+        for _ in range(200):
+            est.advance_epoch()
+        assert est._heat[table] == {}

@@ -1,0 +1,203 @@
+"""Unit and determinism tests for the tiering policy engine."""
+
+import pytest
+
+from repro.config import TieringSettings
+from repro.guestos.kernel import GuestKernel, OwnerKind, PageOwner
+from repro.hypervisor.kvm import KvmHost
+from repro.tiering import TieringEngine
+from repro.units import MiB
+
+PAGE = 4096
+
+
+def make_env(mode, host_ram=1 * MiB, guest_mem=2 * MiB, **overrides):
+    """A deliberately overcommitted host with one busy guest."""
+    host = KvmHost(host_ram, seed=5)
+    vm = host.create_guest("vm1", guest_mem)
+    kernel = GuestKernel(vm, host.rng.derive("g", "vm1"))
+    settings = TieringSettings(mode=mode, epoch_ticks=1, **overrides)
+    return host, vm, kernel, settings
+
+
+def touch_pages(vm, kernel, count, free_after=False):
+    gfns = []
+    for _ in range(count):
+        gfn = kernel.alloc_gfn(PageOwner(OwnerKind.KERNEL, tag="x"))
+        vm.write_gfn(gfn, gfn + 1)
+        gfns.append(gfn)
+    if free_after:
+        for gfn in gfns:
+            kernel.free_gfn(gfn)
+    return gfns
+
+
+def cool_down(engine):
+    """Run quiet epochs until every once-touched page counts as cold."""
+    for _ in range(engine.estimator.hot_window_epochs() + 1):
+        engine.estimator.advance_epoch()
+
+
+class TestEpochCadence:
+    def test_tick_runs_epoch_on_cadence(self):
+        host, vm, kernel, _ = make_env("hints")
+        settings = TieringSettings(mode="hints", epoch_ticks=3)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        assert engine.tick() is None
+        assert engine.tick() is None
+        action = engine.tick()
+        assert action is not None
+        assert action.epoch == 1
+
+    def test_step_counts_epochs(self):
+        host, vm, kernel, settings = make_env("hints")
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        engine.step()
+        engine.step()
+        assert engine.summary().epochs == 2
+
+
+class TestHints:
+    def test_cold_pages_reach_the_scanner(self):
+        host, vm, kernel, settings = make_env("hints", host_ram=64 * MiB)
+        touch_pages(vm, kernel, 8)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        action = engine.step()
+        assert action.cold_pages_hinted == 8
+        assert host.ksm.pending_cold_hints(vm.page_table) == 8
+
+    def test_hot_pages_not_hinted(self):
+        host, vm, kernel, settings = make_env("hints", host_ram=64 * MiB)
+        gfns = touch_pages(vm, kernel, 8)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        # Keep one page hot right up to the epoch close.
+        vm.write_gfn(gfns[0], 999)
+        action = engine.step()
+        assert action.cold_pages_hinted == 7
+        assert host.ksm.pending_cold_hints(vm.page_table) == 7
+
+    def test_hints_mode_never_compresses_or_balloons(self):
+        host, vm, kernel, settings = make_env("hints")
+        touch_pages(vm, kernel, 64)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        assert engine.store is None
+        assert engine.balloons is None
+
+
+class TestCompression:
+    def test_compresses_cold_pages_under_pressure(self):
+        host, vm, kernel, settings = make_env("compress")
+        touch_pages(vm, kernel, 384)  # 1.5 MiB on a 1 MiB host
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        before = host.physmem.bytes_in_use
+        cool_down(engine)
+        action = engine.step()
+        assert action.pages_compressed > 0
+        assert action.compression_bytes_saved > 0
+        assert host.compression.pool_pages == action.pages_compressed
+        assert host.physmem.bytes_in_use < before
+
+    def test_no_pressure_no_compression(self):
+        host, vm, kernel, settings = make_env("compress", host_ram=64 * MiB)
+        touch_pages(vm, kernel, 64)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        action = engine.step()
+        assert action.pages_compressed == 0
+
+    def test_per_epoch_budget_respected(self):
+        host, vm, kernel, settings = make_env(
+            "compress", compress_pages_per_epoch=4
+        )
+        touch_pages(vm, kernel, 384)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        action = engine.step()
+        assert action.pages_compressed == 4
+
+    def test_hot_pages_never_compressed(self):
+        host, vm, kernel, settings = make_env("compress")
+        gfns = touch_pages(vm, kernel, 384)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        vm.write_gfn(gfns[0], 123)  # hot again
+        engine.step()
+        hot_vpn = vm._host_vpn(gfns[0])
+        assert not host.compression.is_compressed(vm.page_table, hot_vpn)
+        assert vm.page_table.is_mapped(hot_vpn)
+
+    def test_stops_when_pressure_relieved(self):
+        host, vm, kernel, settings = make_env("compress")
+        touch_pages(vm, kernel, 384)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        for _ in range(8):
+            engine.step()
+        deficit = host.physmem.bytes_in_use - host.physmem.capacity_bytes
+        assert deficit <= 0
+        # Some cold pages must survive uncompressed: the engine stops at
+        # the pressure line instead of freezing the whole guest.
+        assert host.compression.pool_pages < 384
+
+
+class TestBallooning:
+    def test_balloons_reclaim_under_pressure(self):
+        host, vm, kernel, settings = make_env("balloon")
+        touch_pages(vm, kernel, 384, free_after=True)
+        assert host.physmem.overcommitted_bytes > 0
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        before = host.physmem.bytes_in_use
+        cool_down(engine)
+        action = engine.step()
+        assert action.balloon_reclaimed_bytes > 0
+        assert action.balloon_plans
+        assert host.physmem.bytes_in_use < before
+
+    def test_no_pressure_no_ballooning(self):
+        host, vm, kernel, settings = make_env("balloon", host_ram=64 * MiB)
+        touch_pages(vm, kernel, 64, free_after=True)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        action = engine.step()
+        assert action.balloon_reclaimed_bytes == 0
+        assert action.balloon_plans == []
+
+
+class TestSummary:
+    def test_summary_accumulates_actions(self):
+        host, vm, kernel, settings = make_env("combined")
+        touch_pages(vm, kernel, 384)
+        engine = TieringEngine(host, {"vm1": kernel}, settings)
+        cool_down(engine)
+        engine.step()
+        engine.step()
+        summary = engine.summary()
+        assert summary.epochs == 2
+        assert summary.pages_compressed == sum(
+            a.pages_compressed for a in engine.actions
+        )
+        assert summary.cold_pages_hinted == sum(
+            a.cold_pages_hinted for a in engine.actions
+        )
+        assert summary.final_wss_bytes == engine.estimator.wss_bytes()
+
+
+class TestDeterminism:
+    def test_pressure_family_serial_equals_parallel(self):
+        """The ISSUE's acceptance bar: tiering scenarios are bit-identical
+        between in-process and process-pool execution."""
+        from repro.core.experiments.pressure import run_pressure_family
+
+        kwargs = dict(
+            scenario="daytrader4",
+            scale=0.02,
+            measurement_ticks=3,
+            seed=11,
+            host_ram_fraction=0.6,
+            cache=None,
+        )
+        serial = run_pressure_family(jobs=1, **kwargs)
+        parallel = run_pressure_family(jobs=4, **kwargs)
+        assert serial.to_dict() == parallel.to_dict()

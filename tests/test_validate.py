@@ -122,3 +122,59 @@ class TestDeterministicCollection:
                  for f in report.findings]
             )
         assert codes[0] == codes[1]
+
+
+class TestValidateCompression:
+    """The pool/physmem consistency invariant behind the pressure family."""
+
+    @staticmethod
+    def _env():
+        from repro.mem.address_space import PageTable
+        from repro.mem.compression import CompressedRamStore
+        from repro.mem.physmem import HostPhysicalMemory
+        from repro.units import MiB
+
+        pm = HostPhysicalMemory(16 * MiB, 4096)
+        table = PageTable("t")
+        store = CompressedRamStore(pm)
+        for vpn in range(6):
+            pm.map_token(table, vpn, vpn + 1)
+            store.compress_page(table, vpn)
+        return pm, table, store
+
+    def test_clean_store_validates(self):
+        from repro.core.validate import validate_compression
+
+        pm, _table, store = self._env()
+        report = validate_compression(pm, [store])
+        assert report.codes() == []
+
+    def test_vanished_pool_bytes_detected(self):
+        from repro.core.validate import validate_compression
+
+        pm, _table, store = self._env()
+        pm.release_pool_bytes(100)  # memory vanishing from the books
+        report = validate_compression(pm, [store])
+        assert "compression-pool-mismatch" in report.codes()
+        assert SEVERITY_BY_CODE["compression-pool-mismatch"] is Severity.ERROR
+
+    def test_stats_drift_detected(self):
+        from repro.core.validate import validate_compression
+
+        pm, _table, store = self._env()
+        store.stats.bytes_stored_compressed += 64
+        report = validate_compression(pm, [store])
+        assert "compression-stats-drift" in report.codes()
+        assert SEVERITY_BY_CODE["compression-stats-drift"] is Severity.ERROR
+
+    def test_no_stores_requires_zero_pool_charge(self):
+        from repro.core.validate import validate_compression
+        from repro.mem.physmem import HostPhysicalMemory
+        from repro.units import MiB
+
+        pm = HostPhysicalMemory(16 * MiB, 4096)
+        assert validate_compression(pm, []).codes() == []
+        pm.charge_pool_bytes(128)
+        assert validate_compression(pm, []).codes() == [
+            "compression-pool-mismatch"
+        ]

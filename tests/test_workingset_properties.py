@@ -1,0 +1,97 @@
+"""Property-based tests for the working-set estimator.
+
+Two invariants the tiering engine relies on:
+
+* **recency soundness** — a hot page was necessarily dirtied within the
+  last :meth:`~repro.mem.workingset.WorkingSetEstimator.hot_window_epochs`
+  epochs.  The engine compresses/balloons the complement, so a violation
+  would let it freeze a page that is actively being written;
+* **decay monotonicity** — for the same touch history, a faster-cooling
+  estimator (smaller decay) never reports a *larger* working set, so
+  tuning decay down can only make tiering more aggressive, never less.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address_space import PageTable
+from repro.mem.workingset import WorkingSetEstimator
+
+PAGE = 4096
+N_VPNS = 8
+
+#: A touch history: per epoch, the set of vpns dirtied during it.
+history = st.lists(
+    st.sets(st.integers(0, N_VPNS - 1), max_size=N_VPNS),
+    min_size=1,
+    max_size=30,
+)
+
+
+def replay(estimator, table, epochs):
+    for touched in epochs:
+        for vpn in sorted(touched):
+            table.log_dirty(vpn)
+        estimator.advance_epoch()
+
+
+class TestRecencySoundness:
+    @given(epochs=history)
+    @settings(max_examples=150, deadline=None)
+    def test_hot_pages_were_touched_within_window(self, epochs):
+        table = PageTable("t")
+        est = WorkingSetEstimator(PAGE)
+        est.track(table)
+        replay(est, table, epochs)
+        window = est.hot_window_epochs()
+        recent = set()
+        for touched in epochs[-window:]:
+            recent |= touched
+        assert set(est.hot_vpns(table)) <= recent
+
+    @given(epochs=history, quiet=st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_window_is_a_hard_bound(self, epochs, quiet):
+        """After window + quiet untouched epochs nothing stays hot."""
+        table = PageTable("t")
+        est = WorkingSetEstimator(PAGE)
+        est.track(table)
+        replay(est, table, epochs)
+        for _ in range(est.hot_window_epochs() + quiet):
+            est.advance_epoch()
+        assert est.hot_vpns(table) == ()
+        assert est.wss_bytes() == 0
+
+
+class TestDecayMonotonicity:
+    @given(
+        epochs=history,
+        decays=st.tuples(
+            st.floats(0.05, 0.95), st.floats(0.05, 0.95)
+        ).filter(lambda pair: abs(pair[0] - pair[1]) > 1e-3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_wss_monotone_in_decay(self, epochs, decays):
+        low, high = sorted(decays)
+        results = {}
+        for decay in (low, high):
+            table = PageTable("t")
+            est = WorkingSetEstimator(PAGE, decay=decay)
+            est.track(table)
+            replay(est, table, epochs)
+            results[decay] = (set(est.hot_vpns(table)), est.wss_bytes())
+        hot_low, wss_low = results[low]
+        hot_high, wss_high = results[high]
+        assert hot_low <= hot_high
+        assert wss_low <= wss_high
+
+    @given(epochs=history)
+    @settings(max_examples=100, deadline=None)
+    def test_replay_is_deterministic(self, epochs):
+        def run():
+            table = PageTable("t")
+            est = WorkingSetEstimator(PAGE)
+            est.track(table)
+            replay(est, table, epochs)
+            return est.hot_vpns(table), est.wss_bytes()
+
+        assert run() == run()
