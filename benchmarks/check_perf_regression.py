@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CI perf-smoke regression gate for the columnar dump analysis.
+
+Compares a freshly generated ``BENCH_core.json`` against the committed
+``benchmarks/BENCH_core.baseline.json`` and fails (exit 1) when:
+
+* any backend's breakdowns diverged from the dict pipeline
+  (``analysis.identical`` false) — correctness regression; or
+* the columnar path lost more than ``--tolerance`` (default 20%)
+  relative to the dict pipeline compared to the baseline run.
+
+The gate compares the *fraction* ``columnar_wall / dict_wall`` rather
+than absolute walls, so the machine's speed cancels out: a slower CI
+runner slows both pipelines alike, but a code change that pessimizes
+only the columnar path moves the fraction.  numpy is gated when both
+runs have it; the stdlib fallback fraction is always gated.
+
+Runs at different ``REPRO_BENCH_SCALE`` are not comparable; the gate
+warns and exits 0 instead of guessing.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BENCH_core.json \
+        [--baseline benchmarks/BENCH_core.baseline.json] \
+        [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_core.baseline.json"
+
+
+def fraction(analysis: dict, wall_key: str) -> float:
+    return analysis[wall_key] / analysis["dict_wall_s"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="fresh BENCH_core.json")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative slowdown of the columnar fraction (0.2 "
+        "= fail only when >20%% slower than the baseline fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    analysis = report.get("analysis") or {}
+    base_analysis = baseline.get("analysis") or {}
+
+    if not analysis:
+        print("FAIL: report has no 'analysis' section (bench not run?)")
+        return 1
+    if not analysis.get("identical", False):
+        print("FAIL: columnar breakdowns diverged from the dict pipeline")
+        return 1
+    if not base_analysis:
+        print("warning: baseline has no 'analysis' section; gate skipped")
+        return 0
+    if report.get("scale") != baseline.get("scale"):
+        print(
+            f"warning: scale mismatch (report {report.get('scale')} vs "
+            f"baseline {baseline.get('scale')}); fractions are not "
+            "comparable, gate skipped"
+        )
+        return 0
+
+    failed = False
+    checks = [("stdlib_wall_s", "columnar-stdlib")]
+    if "numpy_wall_s" in analysis and "numpy_wall_s" in base_analysis:
+        checks.append(("numpy_wall_s", "columnar-numpy"))
+    elif "numpy_wall_s" in base_analysis:
+        print(
+            "warning: baseline has numpy but this run does not; only "
+            "the stdlib fraction is gated"
+        )
+    for wall_key, label in checks:
+        current = fraction(analysis, wall_key)
+        base = fraction(base_analysis, wall_key)
+        limit = base * (1.0 + args.tolerance)
+        verdict = "ok" if current <= limit else "FAIL"
+        print(
+            f"{verdict}: {label} fraction {current:.4f} "
+            f"(baseline {base:.4f}, limit {limit:.4f})"
+        )
+        failed = failed or current > limit
+    if failed:
+        print(
+            "FAIL: the columnar pipeline regressed relative to the dict "
+            "pipeline beyond tolerance"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

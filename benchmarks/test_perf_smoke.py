@@ -15,6 +15,16 @@ with ``REPRO_BENCH_CORE_JSON``) so CI can archive and compare them:
   the report; it is only *asserted* on multi-core machines at
   ``REPRO_BENCH_SCALE >= 0.25``, where the footprint measurements are
   heavy enough for fan-out to beat fork overhead.
+
+* **Fig. 2 dump analysis, dict vs. columnar.**  The full daytrader4
+  system dump is analysed by every backend (the historical dict
+  pipeline, columnar-numpy when importable, columnar-stdlib always,
+  plus the streaming fold); the Fig. 2/Fig. 3 breakdowns must be
+  byte-identical across all of them, and the numpy columnar path must
+  beat the dict pipeline by >= 10x (asserted whenever numpy is present
+  and ``REPRO_BENCH_SCALE >= 0.1``).  Walls and speedups land in the
+  report for the CI regression gate
+  (``benchmarks/check_perf_regression.py``).
 """
 
 from __future__ import annotations
@@ -62,6 +72,7 @@ REPORT = {
     "figures": {},
     "cache": {},
     "sweep": {},
+    "analysis": {},
 }
 
 
@@ -177,3 +188,105 @@ def test_fig7_parallel_matches_serial():
     # physically expected.
     if (os.cpu_count() or 1) >= 2 and BENCH_SCALE >= 0.25:
         assert parallel_wall < serial_wall
+
+
+def _analysis_fingerprint(accounting):
+    from repro.core.breakdown import java_breakdown, vm_breakdown
+
+    return (
+        vm_breakdown(accounting).to_json(),
+        java_breakdown(accounting).to_json(),
+    )
+
+
+def test_fig2_analysis_columnar_speedup(figure_cache):
+    """Time the Fig. 2 dump analysis on every backend, one shared dump."""
+    from repro.core.accounting import owner_oriented_accounting
+    from repro.core.columnar.backend import (
+        BACKEND_DICT,
+        BACKEND_NUMPY,
+        BACKEND_STDLIB,
+        numpy_available,
+    )
+    from repro.core.columnar.pipeline import stream_owner_accounting
+
+    result = run_scenario_cached(
+        bench_request("daytrader4", CacheDeployment.NONE),
+        cache=figure_cache,
+    )
+    dump = result.dump
+    assert dump is not None
+
+    def best_of(fn, repeats):
+        best, fingerprint = float("inf"), None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            accounting = fn()
+            best = min(best, time.perf_counter() - started)
+            fingerprint = _analysis_fingerprint(accounting)
+        return best, fingerprint
+
+    # The dict pipeline is the slow one — a single timed run; the
+    # columnar paths take best-of-3 to shed warmup noise.
+    walls = {}
+    dict_wall, reference = best_of(
+        lambda: owner_oriented_accounting(dump, backend=BACKEND_DICT), 1
+    )
+    walls[BACKEND_DICT] = dict_wall
+
+    backends = [BACKEND_STDLIB] + (
+        [BACKEND_NUMPY] if numpy_available() else []
+    )
+    identical = True
+    for backend in backends:
+        wall, fingerprint = best_of(
+            lambda b=backend: owner_oriented_accounting(dump, backend=b),
+            3,
+        )
+        walls[backend] = wall
+        identical = identical and fingerprint == reference
+        assert fingerprint == reference, (
+            f"{backend} breakdown diverges from dict"
+        )
+
+    stream_backend = BACKEND_NUMPY if numpy_available() else BACKEND_STDLIB
+    stream_wall, stream_fingerprint = best_of(
+        lambda: stream_owner_accounting(dump, backend=stream_backend), 3
+    )
+    assert stream_fingerprint == reference
+
+    analysis = {
+        "dict_wall_s": round(dict_wall, 4),
+        "stdlib_wall_s": round(walls[BACKEND_STDLIB], 4),
+        "streaming_wall_s": round(stream_wall, 4),
+        "streaming_backend": stream_backend,
+        "speedup_stdlib": round(dict_wall / walls[BACKEND_STDLIB], 3),
+        "numpy_available": numpy_available(),
+        "identical": identical,
+    }
+    if numpy_available():
+        analysis["numpy_wall_s"] = round(walls[BACKEND_NUMPY], 4)
+        analysis["speedup_numpy"] = round(
+            dict_wall / walls[BACKEND_NUMPY], 3
+        )
+    REPORT["analysis"] = analysis
+    print(
+        "\nfig2 analysis: dict {:.3f}s, stdlib {:.3f}s ({:.1f}x)".format(
+            dict_wall, walls[BACKEND_STDLIB], analysis["speedup_stdlib"]
+        )
+        + (
+            ", numpy {:.3f}s ({:.1f}x)".format(
+                walls[BACKEND_NUMPY], analysis["speedup_numpy"]
+            )
+            if numpy_available()
+            else ", numpy absent"
+        )
+        + f", streaming[{stream_backend}] {stream_wall:.3f}s"
+    )
+
+    # The acceptance bar: the vectorized numpy path must be an order of
+    # magnitude faster than the dict pipeline on a fig2-class dump.
+    # Tiny scales leave too little work to amortize lowering, so the
+    # assert is gated the same way the fig7 speedup is.
+    if numpy_available() and BENCH_SCALE >= 0.1:
+        assert analysis["speedup_numpy"] >= 10.0, analysis

@@ -105,6 +105,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     common.add_argument(
+        "--backend",
+        choices=["dict", "columnar", "columnar-numpy", "columnar-stdlib"],
+        default=None,
+        help=(
+            "dump-analysis pipeline: 'dict' per-page walk (default), "
+            "'columnar' vectorized arrays (numpy when available, "
+            "stdlib fallback otherwise), or an explicitly pinned "
+            "columnar implementation; $REPRO_BACKEND sets the default"
+        ),
+    )
+    common.add_argument(
         "--faults", metavar="SEED[:RATE]", default=None,
         help=(
             "inject collection faults from this seed (optional RATE in "
@@ -289,6 +300,8 @@ def _print_fault_reports(result) -> None:
 
 
 def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
+    from repro.core.columnar import resolve_backend
+
     return ScenarioRequest(
         scenario=scenario,
         deployment=deployment,
@@ -298,6 +311,10 @@ def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
         scan_policy=args.scan_policy,
         faults=_fault_plan(args),
         tiering=getattr(args, "tiering", "off"),
+        # Canonicalized here (None -> $REPRO_BACKEND -> "dict";
+        # "columnar" -> the pinned implementation) so the cache
+        # fingerprint records the backend that actually ran.
+        backend=resolve_backend(getattr(args, "backend", None)),
     )
 
 

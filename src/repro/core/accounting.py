@@ -25,6 +25,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.categories import MemoryCategory, categorize_tag
+from repro.core.columnar.backend import (
+    BACKEND_DICT,
+    merge_intervals,
+    point_in_intervals,
+    resolve_backend,
+)
 from repro.core.dump import SystemDump
 from repro.core.translate import (
     iter_process_frames,
@@ -108,16 +114,18 @@ def build_frame_usage(dump: SystemDump) -> FrameUsage:
             if owner is not None and owner.kind is OwnerKind.FREE:
                 tag = "kernel:free"
             usage[fid].append(Mapping(kernel_user, None, tag))
-        # QEMU's own pages: host vpns outside every memslot.
+        # QEMU's own pages: host vpns outside every memslot.  The slot
+        # cover is merged once per guest; the membership test is one
+        # bisect per page instead of a scan of the whole slot array.
         vm_self_user = UserKey(
             UserKind.VM_SELF, -1, guest.vm_index, guest.vm_name
         )
+        slot_cover = merge_intervals(
+            (slot.host_base_vpn, slot.host_base_vpn + slot.npages)
+            for slot in guest.memslots
+        )
         for host_vpn, fid in iter_vm_process_pages(dump, guest):
-            inside = any(
-                slot.host_base_vpn <= host_vpn < slot.host_base_vpn + slot.npages
-                for slot in guest.memslots
-            )
-            if not inside:
+            if not point_in_intervals(slot_cover, host_vpn):
                 usage[fid].append(Mapping(vm_self_user, None, "qemu"))
     return usage
 
@@ -234,7 +242,9 @@ def _owner_sort_key(mapping: Mapping) -> Tuple:
 
 
 def owner_oriented_accounting(
-    dump: SystemDump, usage: Optional[FrameUsage] = None
+    dump: SystemDump,
+    usage: Optional[FrameUsage] = None,
+    backend: Optional[str] = None,
 ) -> OwnerAccounting:
     """The paper's accounting: one owner per frame, the rest share free.
 
@@ -243,8 +253,22 @@ def owner_oriented_accounting(
     mappings the owner itself has — adds the page size to that user's
     *shared* tally.  Summed over all users, ``usage`` equals backed
     physical memory and ``usage + shared`` equals mapped guest memory.
+
+    ``backend`` selects the pipeline (``None`` reads ``$REPRO_BACKEND``,
+    defaulting to the historical dict walk): any columnar backend runs
+    :func:`repro.core.columnar.owner_accounting_columnar` — same
+    tallies, flat arrays instead of per-page ``Mapping`` lists.  A
+    pre-built ``usage`` table always takes the dict aggregation (the
+    columnar path never materializes one).
     """
     if usage is None:
+        resolved = resolve_backend(backend)
+        if resolved != BACKEND_DICT:
+            from repro.core.columnar.pipeline import (
+                owner_accounting_columnar,
+            )
+
+            return owner_accounting_columnar(dump, backend=resolved)
         usage = build_frame_usage(dump)
     result = OwnerAccounting(page_size=dump.host.page_size)
     page = dump.host.page_size
@@ -273,10 +297,26 @@ class PssAccounting:
 
 
 def distribution_oriented_accounting(
-    dump: SystemDump, usage: Optional[FrameUsage] = None
+    dump: SystemDump,
+    usage: Optional[FrameUsage] = None,
+    backend: Optional[str] = None,
 ) -> PssAccounting:
-    """Linux-PSS-style accounting: each sharer pays 1/n of the frame."""
+    """Linux-PSS-style accounting: each sharer pays 1/n of the frame.
+
+    ``backend`` as in :func:`owner_oriented_accounting`.  Columnar
+    ``rss`` tallies are bit-identical; ``pss`` floats can differ from
+    the dict path by summation order (a few ULP).
+    """
     if usage is None:
+        resolved = resolve_backend(backend)
+        if resolved != BACKEND_DICT:
+            from repro.core.columnar.pipeline import (
+                distribution_accounting_columnar,
+            )
+
+            return distribution_accounting_columnar(
+                dump, backend=resolved
+            )
         usage = build_frame_usage(dump)
     result = PssAccounting(page_size=dump.host.page_size)
     page = dump.host.page_size

@@ -12,8 +12,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.core.accounting import (
     CategoryUsage,
@@ -56,6 +57,18 @@ class VmRow:
         usage = self.total_usage()
         return usage, usage + self.unattributable_bytes
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict with every figure-visible quantity."""
+        return {
+            "vm_name": self.vm_name,
+            "vm_index": self.vm_index,
+            "usage_bytes": {g: self.usage_bytes.get(g, 0)
+                            for g in VM_GROUPS},
+            "shared_bytes": {g: self.shared_bytes.get(g, 0)
+                             for g in VM_GROUPS},
+            "unattributable_bytes": self.unattributable_bytes,
+        }
+
 
 @dataclass
 class VmBreakdown:
@@ -92,6 +105,25 @@ class VmBreakdown:
             if row.vm_name == vm_name:
                 return row
         raise KeyError(f"no VM {vm_name!r} in breakdown")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the whole Fig. 2 / Fig. 4 dataset."""
+        return {
+            "rows": [row.as_dict() for row in self.rows],
+            "unassigned_unattributable_bytes": (
+                self.unassigned_unattributable_bytes
+            ),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace churn).
+
+        Two breakdowns render to the same string iff every
+        figure-visible quantity matches — this is what the equivalence
+        suite compares across analysis backends.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
 
 def vm_breakdown(accounting: OwnerAccounting) -> VmBreakdown:
@@ -182,6 +214,24 @@ class JavaProcessRow:
             return 0.0
         return cell.shared_bytes / cell.total_bytes
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict with every figure-visible quantity."""
+        return {
+            "vm_name": self.vm_name,
+            "vm_index": self.vm_index,
+            "pid": self.pid,
+            "categories": {
+                category.name: {
+                    "usage_bytes": cell.usage_bytes,
+                    "shared_bytes": cell.shared_bytes,
+                }
+                for category, cell in sorted(
+                    self.categories.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "unattributable_bytes": self.unattributable_bytes,
+        }
+
 
 @dataclass
 class JavaBreakdown:
@@ -209,6 +259,15 @@ class JavaBreakdown:
     def non_primary_rows(self) -> List[JavaProcessRow]:
         owner = self.owner_row()
         return [row for row in self.rows if row is not owner]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the whole Fig. 3 / Fig. 5 dataset."""
+        return {"rows": [row.as_dict() for row in self.rows]}
+
+    def to_json(self) -> str:
+        """Canonical JSON form; see :meth:`VmBreakdown.to_json`."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
 
 def java_breakdown(accounting: OwnerAccounting) -> JavaBreakdown:

@@ -1,0 +1,85 @@
+"""Columnar dump-analysis backend (vectorized three-layer translation
+and group-by accounting).
+
+Public surface:
+
+* backend selection — :func:`resolve_backend` (``dict`` /
+  ``columnar`` / ``columnar-numpy`` / ``columnar-stdlib``, env
+  ``REPRO_BACKEND``), :func:`available_backends`,
+  :func:`numpy_available`, :func:`ops_for`;
+* accounting — :func:`owner_accounting_columnar`,
+  :func:`distribution_accounting_columnar`, and the bounded-memory
+  :func:`stream_owner_accounting` /
+  :class:`StreamingOwnerAccumulator`;
+* building blocks — :func:`build_registry`, :func:`lower_guest`,
+  :func:`lower_process`, :func:`resolve_process_columns`,
+  :func:`iter_mapping_chunks` for callers composing their own passes.
+
+The usual entry point is the façade in :mod:`repro.core.accounting`:
+``owner_oriented_accounting(dump, backend="columnar")``.
+
+The lowering/pipeline halves import :mod:`repro.core.accounting` (they
+produce its result types), while accounting itself needs the backend
+selector and interval helpers from here — so those halves load lazily
+(PEP 562) and only :mod:`.backend`, which has no repro dependencies,
+loads eagerly.
+"""
+
+from .backend import (
+    BACKEND_DICT,
+    BACKEND_NUMPY,
+    BACKEND_STDLIB,
+    ENV_BACKEND,
+    ENV_NO_NUMPY,
+    available_backends,
+    merge_intervals,
+    numpy_available,
+    ops_for,
+    point_in_intervals,
+    resolve_backend,
+)
+
+_LOWER_EXPORTS = frozenset((
+    "Registry",
+    "build_registry",
+    "lower_guest",
+    "lower_process",
+))
+_PIPELINE_EXPORTS = frozenset((
+    "StreamingOwnerAccumulator",
+    "distribution_accounting_columnar",
+    "iter_mapping_chunks",
+    "owner_accounting_columnar",
+    "resolve_process_columns",
+    "stream_owner_accounting",
+))
+
+__all__ = [
+    "BACKEND_DICT",
+    "BACKEND_NUMPY",
+    "BACKEND_STDLIB",
+    "ENV_BACKEND",
+    "ENV_NO_NUMPY",
+    "available_backends",
+    "merge_intervals",
+    "numpy_available",
+    "ops_for",
+    "point_in_intervals",
+    "resolve_backend",
+    *sorted(_LOWER_EXPORTS),
+    *sorted(_PIPELINE_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    if name in _LOWER_EXPORTS:
+        from . import lower
+
+        return getattr(lower, name)
+    if name in _PIPELINE_EXPORTS:
+        from . import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

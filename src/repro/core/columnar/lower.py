@@ -1,0 +1,292 @@
+"""Lowering a :class:`~repro.core.dump.SystemDump` to flat columns.
+
+The columnar pipeline never chases per-page dicts.  This module builds,
+once per dump:
+
+* a :class:`Registry` — the interned string side of the analysis: every
+  VMA/owner tag mapped to an integer *rank* whose numeric order equals
+  the lexicographic tag order (so the owner-election tie-break of
+  :func:`repro.core.accounting._owner_sort_key` survives vectorization),
+  plus interned :class:`~repro.core.accounting.UserKey` users and
+  ``(user, category)`` accounting cells;
+* per guest, a :class:`GuestTables` — the memslot array as an interval
+  table keyed by ``base_gfn`` whose payload is the affine
+  ``host_base_vpn - base_gfn`` delta (one vectorized ``searchsorted`` +
+  add replaces the per-page ``translate_gfn`` bisect), the merged
+  host-vpn cover of the slots (the QEMU-overhead membership test), the
+  QEMU host page table as a sorted equi-join table, and the guest
+  kernel's gfn-ownership map as a ``gfn → tag rank`` equi-join table;
+* per process, a :class:`ProcessTables` — aligned vpn/gfn columns plus
+  the VMA list as an interval table whose payload indexes aligned
+  per-VMA tag-rank / cell-id columns.
+
+Everything downstream (:mod:`repro.core.columnar.pipeline`) is pure
+column algebra on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accounting import UserKey, UserKind
+from repro.core.categories import MemoryCategory, categorize_tag
+from repro.core.dump import GuestDump, GuestProcessDump, SystemDump
+from repro.core.translate import qemu_table_name
+from repro.guestos.kernel import OwnerKind
+from repro.hypervisor.kvm import memslot_columns
+
+from .backend import ExactTable, IntervalTable, MergedIntervals
+
+__all__ = [
+    "GuestTables",
+    "ProcessTables",
+    "Registry",
+    "TAG_ANON",
+    "TAG_KERNEL_FREE",
+    "TAG_KERNEL_UNKNOWN",
+    "TAG_QEMU",
+    "build_registry",
+    "lower_guest",
+    "lower_process",
+]
+
+#: Synthetic tags the dict pipeline introduces outside the VMA tables.
+TAG_ANON = "anon"
+TAG_QEMU = "qemu"
+TAG_KERNEL_UNKNOWN = "kernel:unknown"
+TAG_KERNEL_FREE = "kernel:free"
+
+
+@dataclass
+class Registry:
+    """Interned tags, users and accounting cells for one dump.
+
+    ``tag_rank`` is total and lexicographic over every tag the dump can
+    ever feed to accounting, so comparing ranks is exactly comparing tag
+    strings — the last component of the ownership sort key.
+    """
+
+    tag_rank: Dict[str, int]
+    users: List[UserKey] = field(default_factory=list)
+    cells: List[Tuple[UserKey, Optional[MemoryCategory]]] = (
+        field(default_factory=list)
+    )
+    _user_ids: Dict[UserKey, int] = field(default_factory=dict)
+    _cell_ids: Dict[
+        Tuple[UserKey, Optional[MemoryCategory]], int
+    ] = field(default_factory=dict)
+    #: cell id -> user id (the PSS group-by recovers users from cells).
+    cell_user: List[int] = field(default_factory=list)
+    #: per guest (by vm_name): the gfn-ownership map pre-classified as
+    #: ``(unique_owner_records, per-gfn index into them)`` — built in
+    #: the same sweep that collects tags, so the per-page owner dict is
+    #: read exactly once per dump.
+    owner_columns: Dict[str, Tuple[list, List[int]]] = (
+        field(default_factory=dict)
+    )
+
+    def user_id(self, user: UserKey) -> int:
+        found = self._user_ids.get(user)
+        if found is None:
+            found = len(self.users)
+            self.users.append(user)
+            self._user_ids[user] = found
+        return found
+
+    def cell_id(
+        self, user: UserKey, category: Optional[MemoryCategory]
+    ) -> int:
+        key = (user, category)
+        found = self._cell_ids.get(key)
+        if found is None:
+            found = len(self.cells)
+            self.cells.append(key)
+            self._cell_ids[key] = found
+            self.cell_user.append(self.user_id(user))
+        return found
+
+
+def build_registry(dump: SystemDump) -> Registry:
+    """Collect every tag the accounting can see and rank them.
+
+    This is the only full sweep over per-page *objects* the columnar
+    path keeps (the gfn-ownership map stores :class:`PageOwner` values);
+    it reads each entry once and retains only the unique tag strings.
+    """
+    tags = {TAG_ANON, TAG_QEMU, TAG_KERNEL_UNKNOWN, TAG_KERNEL_FREE}
+    owner_columns: Dict[str, Tuple[list, List[int]]] = {}
+    for guest in dump.guests:
+        for process in guest.processes:
+            for vma in process.vmas:
+                tags.add(vma.tag)
+        # Classify gfns by owner-record identity (records are interned
+        # by ``owners_snapshot``, so the memo hits on all but the first
+        # page of each ownership class; unshared records degrade to one
+        # memo entry per page, never to wrong answers).
+        memo: Dict[int, int] = {}
+        unique: list = []
+        indexes: List[int] = []
+        append = indexes.append
+        for owner in guest.gfn_owners.values():
+            index = memo.get(id(owner))
+            if index is None:
+                index = len(unique)
+                memo[id(owner)] = index
+                unique.append(owner)
+            append(index)
+        owner_columns[guest.vm_name] = (unique, indexes)
+        for owner in unique:
+            tags.add(owner.tag)
+    return Registry(
+        tag_rank={tag: rank for rank, tag in enumerate(sorted(tags))},
+        owner_columns=owner_columns,
+    )
+
+
+@dataclass
+class ProcessTables:
+    """One guest process, lowered."""
+
+    process: GuestProcessDump
+    user: UserKey
+    user_id: int
+    #: aligned page-table columns (insertion order of the dump dict).
+    vpns: object
+    gfns: object
+    #: VMA intervals; payload indexes the aligned per-VMA columns below.
+    vma_table: IntervalTable
+    #: per-VMA tag rank and accounting cell, by original VMA index.
+    vma_ranks: object
+    vma_cells: object
+    #: fallbacks for pages outside every VMA (the dict path's "anon").
+    anon_rank: int
+    anon_cell: int
+
+
+def lower_process(
+    ops,
+    guest: GuestDump,
+    process: GuestProcessDump,
+    registry: Registry,
+) -> ProcessTables:
+    kind = UserKind.JAVA if process.is_java else UserKind.PROCESS
+    user = UserKey(kind, process.pid, guest.vm_index, guest.vm_name)
+    user_id = registry.user_id(user)
+    table = process.page_table
+    vpns = ops.column(table.keys(), count=len(table))
+    gfns = ops.column(table.values(), count=len(table))
+    starts = []
+    ends = []
+    payloads = []
+    vma_ranks = []
+    vma_cells = []
+    for index, vma in enumerate(process.vmas):
+        starts.append(vma.start_vpn)
+        ends.append(vma.end_vpn)
+        payloads.append(index)
+        vma_ranks.append(registry.tag_rank[vma.tag])
+        vma_cells.append(
+            registry.cell_id(user, categorize_tag(vma.tag))
+        )
+    return ProcessTables(
+        process=process,
+        user=user,
+        user_id=user_id,
+        vpns=vpns,
+        gfns=gfns,
+        vma_table=ops.interval_build(starts, ends, payloads),
+        vma_ranks=ops.column(vma_ranks, count=len(vma_ranks)),
+        vma_cells=ops.column(vma_cells, count=len(vma_cells)),
+        anon_rank=registry.tag_rank[TAG_ANON],
+        anon_cell=registry.cell_id(user, categorize_tag(TAG_ANON)),
+    )
+
+
+@dataclass
+class GuestTables:
+    """One guest VM, lowered (everything but its processes)."""
+
+    guest: GuestDump
+    #: base_gfn intervals; payload is ``host_base_vpn - base_gfn`` so a
+    #: hit resolves as ``host_vpn = gfn + payload``.
+    slot_table: IntervalTable
+    #: merged host-vpn cover of all memslots (QEMU-overhead test).
+    slot_host_cover: MergedIntervals
+    #: the QEMU process's host page table: host vpn -> frame id.
+    host_table: ExactTable
+    #: guest kernel ownership: gfn -> tag rank (FREE already folded in).
+    owner_table: ExactTable
+    kernel_user: UserKey
+    kernel_cell: int
+    unknown_rank: int
+    vm_self_user: UserKey
+    vm_self_cell: int
+    qemu_rank: int
+
+
+def lower_guest(
+    ops, dump: SystemDump, guest: GuestDump, registry: Registry
+) -> GuestTables:
+    bases, npages, host_bases = memslot_columns(guest.memslots)
+    slot_table = ops.interval_build(
+        bases,
+        [base + count for base, count in zip(bases, npages)],
+        [host - base for base, host in zip(bases, host_bases)],
+    )
+    slot_host_cover = ops.membership_build(
+        (host, host + count)
+        for host, count in zip(host_bases, npages)
+    )
+    host_dict = dump.host.page_tables.get(
+        qemu_table_name(guest.vm_name), {}
+    )
+    host_table = ops.exact_build(
+        ops.column(host_dict.keys(), count=len(host_dict)),
+        ops.column(host_dict.values(), count=len(host_dict)),
+    )
+    tag_rank = registry.tag_rank
+    free_rank = tag_rank[TAG_KERNEL_FREE]
+    owners = guest.gfn_owners
+    prelowered = registry.owner_columns.get(guest.vm_name)
+    if prelowered is not None and len(prelowered[1]) == len(owners):
+        unique, indexes = prelowered
+        unique_ranks = [
+            free_rank if owner.kind is OwnerKind.FREE
+            else tag_rank[owner.tag]
+            for owner in unique
+        ]
+        owner_gfns = ops.column(owners.keys(), count=len(owners))
+        owner_ranks = ops.take(
+            ops.column(unique_ranks, count=len(unique_ranks)),
+            ops.column(indexes, count=len(indexes)),
+        )
+    else:  # registry built from another dump snapshot; walk directly
+        owner_gfns = ops.column(owners.keys(), count=len(owners))
+        owner_ranks = ops.column(
+            (
+                free_rank if owner.kind is OwnerKind.FREE
+                else tag_rank[owner.tag]
+                for owner in owners.values()
+            ),
+            count=len(owners),
+        )
+    kernel_user = UserKey(
+        UserKind.KERNEL, -1, guest.vm_index, guest.vm_name
+    )
+    vm_self_user = UserKey(
+        UserKind.VM_SELF, -1, guest.vm_index, guest.vm_name
+    )
+    return GuestTables(
+        guest=guest,
+        slot_table=slot_table,
+        slot_host_cover=slot_host_cover,
+        host_table=host_table,
+        owner_table=ops.exact_build(owner_gfns, owner_ranks),
+        kernel_user=kernel_user,
+        kernel_cell=registry.cell_id(kernel_user, None),
+        unknown_rank=tag_rank[TAG_KERNEL_UNKNOWN],
+        vm_self_user=vm_self_user,
+        vm_self_cell=registry.cell_id(vm_self_user, None),
+        qemu_rank=tag_rank[TAG_QEMU],
+    )

@@ -81,11 +81,23 @@ class GuestProcessDump:
     def __post_init__(self) -> None:
         self._vma_starts: Optional[List[int]] = None
         self._vmas_sorted: List[VmaRecord] = []
+        self._generation = 0
+        self._indexed_generation = -1
 
     @property
     def is_java(self) -> bool:
         """Java processes are identified by their JVM VMAs."""
         return any(vma.tag.startswith("java:") for vma in self.vmas)
+
+    def invalidate_caches(self) -> None:
+        """Drop the sorted-VMA index (after mutating ``vmas``).
+
+        Appends and removals are detected automatically by length;
+        *replacing* a VMA with another of equal count is not — callers
+        mutating in place must invalidate explicitly or the bisect
+        index silently serves the stale layout.
+        """
+        self._generation += 1
 
     def vma_of(self, vpn: int) -> Optional[VmaRecord]:
         """The VMA containing ``vpn`` (bisect over sorted start vpns).
@@ -93,8 +105,10 @@ class GuestProcessDump:
         When VMAs overlap — which only a damaged dump produces — the
         latest-starting VMA containing ``vpn`` wins, deterministically.
         """
-        if self._vma_starts is None or len(self._vmas_sorted) != len(
-            self.vmas
+        if (
+            self._vma_starts is None
+            or self._indexed_generation != self._generation
+            or len(self._vmas_sorted) != len(self.vmas)
         ):
             self._vmas_sorted = sorted(
                 self.vmas, key=lambda vma: vma.start_vpn
@@ -102,6 +116,7 @@ class GuestProcessDump:
             self._vma_starts = [
                 vma.start_vpn for vma in self._vmas_sorted
             ]
+            self._indexed_generation = self._generation
         index = bisect_right(self._vma_starts, vpn) - 1
         while index >= 0:
             vma = self._vmas_sorted[index]
@@ -125,11 +140,17 @@ class GuestDump:
     def __post_init__(self) -> None:
         self._slot_bases: Optional[List[int]] = None
         self._slots_sorted: List[MemSlot] = []
+        self._generation = 0
+        self._indexed_generation = -1
 
     def invalidate_caches(self) -> None:
-        """Drop the sorted-slot index (after mutating ``memslots``)."""
-        self._slot_bases = None
-        self._slots_sorted = []
+        """Drop the sorted-slot index (after mutating ``memslots``).
+
+        Required when a slot is *replaced* in place (equal-count
+        mutations are invisible to the length check below); appends and
+        removals are caught automatically.
+        """
+        self._generation += 1
 
     def translate_gfn(self, gfn: int) -> Optional[int]:
         """gfn → host vpn, bisecting the slots sorted by ``base_gfn``.
@@ -137,8 +158,10 @@ class GuestDump:
         Overlapping slots (a damaged dump) resolve to the latest-based
         containing slot, deterministically.
         """
-        if self._slot_bases is None or len(self._slots_sorted) != len(
-            self.memslots
+        if (
+            self._slot_bases is None
+            or self._indexed_generation != self._generation
+            or len(self._slots_sorted) != len(self.memslots)
         ):
             self._slots_sorted = sorted(
                 self.memslots, key=lambda slot: slot.base_gfn
@@ -146,6 +169,7 @@ class GuestDump:
             self._slot_bases = [
                 slot.base_gfn for slot in self._slots_sorted
             ]
+            self._indexed_generation = self._generation
         index = bisect_right(self._slot_bases, gfn) - 1
         while index >= 0:
             slot = self._slots_sorted[index]
@@ -413,12 +437,14 @@ def collect_system_dump(
     attempted: List[str] = []
     for index, vm in enumerate(host.guests):
         page_tables[vm.page_table.name] = vm.page_table.snapshot()
-        for _vpn, fid in vm.page_table.entries():
-            if fid not in frame_tokens:
-                frame = host.physmem.frame(fid)
-                if frame is not None:
-                    frame_tokens[fid] = frame.token
-                    frame_refcounts[fid] = frame.refcount
+        snapshot = host.physmem.frames_snapshot(
+            fid
+            for _vpn, fid in vm.page_table.entries()
+            if fid not in frame_tokens
+        )
+        for fid, (token, refcount) in snapshot.items():
+            frame_tokens[fid] = token
+            frame_refcounts[fid] = refcount
         kernel = kernels.get(vm.name)
         if kernel is None:
             continue

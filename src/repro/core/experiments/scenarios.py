@@ -92,6 +92,7 @@ def run_scenario(
     faults: Optional[FaultPlan] = None,
     scan_policy: str = "full",
     tiering: str = "off",
+    backend: str = "dict",
 ) -> ScenarioResult:
     """Build, run and analyse one breakdown scenario.
 
@@ -102,7 +103,9 @@ def run_scenario(
     selects the KSM scan policy ("full", the paper's configuration, or
     the dirty-log-driven "incremental"/"hybrid").  ``tiering`` enables
     the working-set tiering engine ("off", "hints", "compress",
-    "balloon" or "combined").
+    "balloon" or "combined").  ``backend`` picks the dump-analysis
+    pipeline ("dict", "columnar", "columnar-numpy", "columnar-stdlib");
+    every backend produces identical breakdowns.
     """
     specs = _guest_specs(scenario, scale)
     config = TestbedConfig(
@@ -110,6 +113,7 @@ def run_scenario(
         kernel_profile=scale_kernel_profile(scale),
         seed=seed,
         scale=scale,
+        backend=backend,
     )
     config.ksm = replace(config.ksm, scan_policy=scan_policy)
     if tiering != "off":
@@ -160,6 +164,12 @@ class ScenarioRequest:
     scan_policy: str = "full"
     faults: Optional[FaultPlan] = None
     tiering: str = "off"
+    #: Dump-analysis backend.  Part of the frozen dataclass, hence of
+    #: the cache fingerprint: results computed by different backends
+    #: are never mixed in the cache, even though they should be
+    #: identical (the equivalence suite asserts it; the cache does not
+    #: rely on it).
+    backend: str = "dict"
 
     def cache_parts(self):
         """Input parts for :meth:`repro.exec.ResultCache.key`."""
@@ -177,6 +187,7 @@ def run_scenario_request(request: ScenarioRequest) -> ScenarioResult:
         faults=request.faults,
         scan_policy=request.scan_policy,
         tiering=request.tiering,
+        backend=request.backend,
     )
 
 

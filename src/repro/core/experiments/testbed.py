@@ -80,6 +80,10 @@ class TestbedConfig:
     #: The pressure-scenario family disables KSM on its non-TPS arms so
     #: compression and ballooning compete without sharing in the mix.
     ksm_enabled: bool = True
+    #: Dump-analysis pipeline: "dict" (historical per-page walk),
+    #: "columnar" (fastest available), "columnar-numpy",
+    #: "columnar-stdlib".  All produce identical breakdowns.
+    backend: str = "dict"
 
 
 @dataclass
@@ -320,7 +324,9 @@ class KvmTestbed:
         if not self._ran:
             self.run()
         dump = collect_system_dump(self.host, self.kernels, faults=faults)
-        accounting = owner_oriented_accounting(dump)
+        accounting = owner_oriented_accounting(
+            dump, backend=self.config.backend
+        )
         validation = None
         if faults is not None:
             validation = validate_dump(dump)

@@ -178,11 +178,30 @@ class GuestKernel:
         )
 
     def owners_snapshot(self) -> Dict[int, PageOwner]:
-        """Copy of the gfn-ownership map (collected into guest dumps)."""
-        return {
-            gfn: PageOwner(owner.kind, owner.pid, owner.tag)
-            for gfn, owner in self._owners.items()
-        }
+        """Copy of the gfn-ownership map (collected into guest dumps).
+
+        Identical ownership records are interned: every gfn with the
+        same (kind, pid, tag) shares one :class:`PageOwner` instance.
+        A guest's pages cluster into a handful of ownership classes, so
+        the snapshot holds dozens of records instead of one per page —
+        and the columnar dump lowering can classify pages by record
+        identity instead of re-reading fields per gfn.  Snapshot
+        records are never mutated in place, so sharing is safe.
+        """
+        by_source: Dict[int, PageOwner] = {}
+        by_value: Dict[tuple, PageOwner] = {}
+        snapshot: Dict[int, PageOwner] = {}
+        for gfn, owner in self._owners.items():
+            record = by_source.get(id(owner))
+            if record is None:
+                key = (owner.kind, owner.pid, owner.tag)
+                record = by_value.get(key)
+                if record is None:
+                    record = PageOwner(owner.kind, owner.pid, owner.tag)
+                    by_value[key] = record
+                by_source[id(owner)] = record
+            snapshot[gfn] = record
+        return snapshot
 
     # ------------------------------------------------------------------
     # Kernel memory

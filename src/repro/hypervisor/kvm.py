@@ -56,6 +56,25 @@ class MemSlot:
         return self.host_base_vpn + (gfn - self.base_gfn)
 
 
+def memslot_columns(slots) -> "tuple[list, list, list]":
+    """Bulk memslot export: ``(base_gfns, npages, host_base_vpns)``.
+
+    The columnar dump pipeline consumes the slot array as three parallel
+    columns (one interval table instead of a per-gfn slot walk); keeping
+    the flattening next to :class:`MemSlot` means a future slot-layout
+    change only has one exporter to update.  Order follows the slot
+    array, as the paper's kernel module reports it.
+    """
+    base_gfns: list = []
+    npages: list = []
+    host_base_vpns: list = []
+    for slot in slots:
+        base_gfns.append(slot.base_gfn)
+        npages.append(slot.npages)
+        host_base_vpns.append(slot.host_base_vpn)
+    return base_gfns, npages, host_base_vpns
+
+
 class KvmVmDevice:
     """The per-VM ``kvm-vm`` device file.
 

@@ -179,7 +179,13 @@ class KsmScanner:
             )
         self._tables.append(table)
         self._last_tokens[table] = {}
-        self._recheck[table] = set()
+        # madvise(MERGEABLE) semantics: every page the table *already*
+        # maps is a merge candidate from now on.  The dirty log only
+        # covers writes after this point, so without seeding the recheck
+        # set an INCREMENTAL scanner would never examine pre-registration
+        # pages — visible as a below-FULL fixpoint when a table is
+        # unregistered (dropping its pending worklist) and re-registered.
+        self._recheck[table] = {vpn for vpn, _ in table.entries()}
         self._cold_hints[table] = set()
 
     def unregister(self, table: PageTable) -> None:

@@ -15,7 +15,7 @@ in :mod:`repro.perf` can compute the penalty.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.mem.address_space import PageTable
 from repro.mem.content import ZERO_TOKEN
@@ -78,6 +78,23 @@ class HostPhysicalMemory:
             return self._frames[fid]
         except KeyError:
             raise KeyError(f"frame {fid} has been freed") from None
+
+    def frames_snapshot(self, fids) -> Dict[int, Tuple[int, int]]:
+        """Bulk metadata read: ``fid -> (token, refcount)``.
+
+        Freed fids are skipped, duplicates collapse; one call replaces a
+        per-entry :meth:`frame` probe loop when dump collection snapshots
+        a whole page table's frames (the struct-page array read of the
+        paper's crash dump, taken in one pass).
+        """
+        frames = self._frames
+        snapshot: Dict[int, Tuple[int, int]] = {}
+        for fid in fids:
+            if fid not in snapshot:
+                frame = frames.get(fid)
+                if frame is not None:
+                    snapshot[fid] = (frame.token, frame.refcount)
+        return snapshot
 
     def inc_ref(self, fid: int) -> None:
         self.get_frame(fid).refcount += 1

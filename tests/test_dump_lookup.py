@@ -164,3 +164,52 @@ class TestGuestLookupError:
         message = str(excinfo.value)
         assert "vm9" in message
         assert "vm1" in message and "vm2" in message
+
+
+class TestGenerationCounter:
+    """Regression tests for the stale-cache bug: an equal-length,
+    in-place record replacement used to leave the sorted index stale
+    because the rebuild condition only compared lengths."""
+
+    def test_vma_equal_length_replacement_after_invalidate(self):
+        process = process_with([
+            VmaRecord(start_vpn=0, npages=5, tag="old"),
+        ])
+        assert process.vma_of(3).tag == "old"
+        process.vmas[0] = VmaRecord(start_vpn=0, npages=5, tag="new")
+        process.invalidate_caches()
+        assert process.vma_of(3).tag == "new"
+
+    def test_vma_moved_range_after_invalidate(self):
+        process = process_with([
+            VmaRecord(start_vpn=0, npages=5, tag="a"),
+            VmaRecord(start_vpn=10, npages=5, tag="b"),
+        ])
+        assert process.vma_of(12).tag == "b"
+        process.vmas[1] = VmaRecord(start_vpn=20, npages=5, tag="b")
+        process.invalidate_caches()
+        assert process.vma_of(12) is None
+        assert process.vma_of(22).tag == "b"
+
+    def test_repeated_invalidation_stays_fresh(self):
+        process = process_with([
+            VmaRecord(start_vpn=0, npages=5, tag="v0"),
+        ])
+        for generation in range(3):
+            process.vmas[0] = VmaRecord(
+                start_vpn=0, npages=5, tag=f"v{generation}"
+            )
+            process.invalidate_caches()
+            assert process.vma_of(0).tag == f"v{generation}"
+
+    def test_memslot_equal_length_replacement_after_invalidate(self):
+        guest = guest_with([
+            MemSlot(base_gfn=0, npages=10, host_base_vpn=1000),
+            MemSlot(base_gfn=10, npages=10, host_base_vpn=2000),
+        ])
+        assert guest.translate_gfn(15) == 2005
+        guest.memslots[1] = MemSlot(
+            base_gfn=10, npages=10, host_base_vpn=9000
+        )
+        guest.invalidate_caches()
+        assert guest.translate_gfn(15) == 9005

@@ -243,3 +243,38 @@ class TestHybridPolicy:
         full_stats = full.run_until_converged(max_passes=8)
         assert stats.pages_saved == full_stats.pages_saved
         assert stats.merges == full_stats.merges
+
+
+class TestRegisterSeedsRecheck:
+    """Regression tests: ``register`` must treat every page the table
+    already maps as a merge candidate (madvise(MERGEABLE) semantics).
+    The dirty log only covers later writes, so an INCREMENTAL scanner
+    that relies on it alone settles below the FULL fixpoint whenever a
+    table arrives with pre-existing content — most visibly after an
+    unregister (which drops the pending worklist) and re-register."""
+
+    def test_pre_registration_pages_examined(self):
+        pm, scanner = make_scanner(scan_policy="incremental")
+        a, b = PageTable("a"), PageTable("b")
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        scanner.register(a)
+        scanner.register(b)
+        scanner.run_until_converged(max_passes=8)
+        assert scanner.stats.merges == 1
+        assert a.translate(0) == b.translate(0)
+
+    def test_unregister_reregister_reaches_full_fixpoint(self):
+        pm, scanner = make_scanner(scan_policy="incremental")
+        a, b = PageTable("a"), PageTable("b")
+        scanner.register(a)
+        scanner.register(b)
+        pm.map_token(a, 0, 5)
+        pm.map_token(b, 0, 5)
+        scanner.unregister(b)
+        scanner.run_until_converged(max_passes=8)
+        assert scanner.stats.merges == 0
+        scanner.register(b)
+        scanner.run_until_converged(max_passes=8)
+        assert scanner.stats.merges == 1
+        assert a.translate(0) == b.translate(0)
