@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""CI perf-smoke regression gate for the columnar dump analysis.
+"""CI perf-smoke regression gate for the columnar fast paths.
 
 Compares a freshly generated ``BENCH_core.json`` against the committed
 ``benchmarks/BENCH_core.baseline.json`` and fails (exit 1) when:
 
 * any backend's breakdowns diverged from the dict pipeline
-  (``analysis.identical`` false) — correctness regression; or
-* the columnar path lost more than ``--tolerance`` (default 20%)
-  relative to the dict pipeline compared to the baseline run.
+  (``analysis.identical`` false), or the batch scan engine's stats
+  diverged from the object engine (``scan.identical`` false) —
+  correctness regressions; or
+* the columnar dump analysis lost more than ``--tolerance`` (default
+  20%) relative to the dict pipeline compared to the baseline run; or
+* the batch scan engine lost more than ``--tolerance`` relative to the
+  object scan engine compared to the baseline run.
 
-The gate compares the *fraction* ``columnar_wall / dict_wall`` rather
-than absolute walls, so the machine's speed cancels out: a slower CI
-runner slows both pipelines alike, but a code change that pessimizes
-only the columnar path moves the fraction.  numpy is gated when both
-runs have it; the stdlib fallback fraction is always gated.
+The gate compares *fractions* (``columnar_wall / dict_wall``,
+``batch_wall / object_wall``) rather than absolute walls, so the
+machine's speed cancels out: a slower CI runner slows both sides
+alike, but a code change that pessimizes only the fast path moves the
+fraction.  numpy is gated when both runs have it; the stdlib fallback
+fraction is always gated.  Baselines predating a section skip that
+section's gate with a warning instead of failing.
 
 Runs at different ``REPRO_BENCH_SCALE`` are not comparable; the gate
 warns and exits 0 instead of guessing.
@@ -95,13 +101,58 @@ def main(argv=None) -> int:
             f"(baseline {base:.4f}, limit {limit:.4f})"
         )
         failed = failed or current > limit
+
+    failed = gate_scan(report, baseline, args.tolerance) or failed
     if failed:
         print(
-            "FAIL: the columnar pipeline regressed relative to the dict "
-            "pipeline beyond tolerance"
+            "FAIL: a fast path regressed relative to its reference "
+            "beyond tolerance"
         )
         return 1
     return 0
+
+
+def gate_scan(report: dict, baseline: dict, tolerance: float) -> bool:
+    """Gate the batch-scan fraction; returns True on failure."""
+    scan = report.get("scan") or {}
+    base_scan = baseline.get("scan") or {}
+    if not scan:
+        print("FAIL: report has no 'scan' section (bench not run?)")
+        return True
+    if not scan.get("identical", False):
+        print("FAIL: batch scan engine stats diverged from object engine")
+        return True
+    if not base_scan:
+        print("warning: baseline has no 'scan' section; scan gate skipped")
+        return False
+
+    def scan_fraction(data: dict, wall_key: str) -> float:
+        return data[wall_key] / data["object_wall_s"]
+
+    checks = [("stdlib_wall_s", "batch-stdlib")]
+    both_numpy = (
+        scan.get("batch_backend") == "columnar-numpy"
+        and base_scan.get("batch_backend") == "columnar-numpy"
+    )
+    if both_numpy:
+        checks.append(("batch_wall_s", "batch-numpy"))
+    elif base_scan.get("batch_backend") == "columnar-numpy":
+        print(
+            "warning: baseline scan has numpy but this run does not; "
+            "only the batch-stdlib fraction is gated"
+        )
+    failed = False
+    for wall_key, label in checks:
+        current = scan_fraction(scan, wall_key)
+        base = scan_fraction(base_scan, wall_key)
+        limit = base * (1.0 + tolerance)
+        verdict = "ok" if current <= limit else "FAIL"
+        print(
+            f"{verdict}: {label} fraction {current:.4f} "
+            f"(baseline {base:.4f}, limit {limit:.4f})"
+        )
+        failed = failed or current > limit
+    return failed
 
 
 if __name__ == "__main__":

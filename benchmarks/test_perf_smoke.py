@@ -16,6 +16,16 @@ with ``REPRO_BENCH_CORE_JSON``) so CI can archive and compare them:
   ``REPRO_BENCH_SCALE >= 0.25``, where the footprint measurements are
   heavy enough for fan-out to beat fork overhead.
 
+* **KSM scan pass, object vs. batch engine.**  A steady-state guest
+  memory image (four identical JVM tables, ~90% shared class-cache
+  pages, a unique heap remainder and a volatile tail rewritten every
+  pass) is scanned by the per-page object engine and by the columnar
+  batch engine (numpy when importable, stdlib always).  Merges,
+  volatile skips and scanned counts must match exactly; walls and
+  speedups land in the report and the numpy batch path must beat the
+  object engine by >= 5x (>= 1.3x for stdlib) at
+  ``REPRO_BENCH_SCALE >= 0.1``.
+
 * **Fig. 2 dump analysis, dict vs. columnar.**  The full daytrader4
   system dump is analysed by every backend (the historical dict
   pipeline, columnar-numpy when importable, columnar-stdlib always,
@@ -73,6 +83,7 @@ REPORT = {
     "cache": {},
     "sweep": {},
     "analysis": {},
+    "scan": {},
 }
 
 
@@ -290,3 +301,131 @@ def test_fig2_analysis_columnar_speedup(figure_cache):
     # assert is gated the same way the fig7 speedup is.
     if numpy_available() and BENCH_SCALE >= 0.1:
         assert analysis["speedup_numpy"] >= 10.0, analysis
+
+
+# ----------------------------------------------------------------------
+# KSM scan engine: object vs batch
+# ----------------------------------------------------------------------
+
+SCAN_TABLES = 4
+SCAN_PAGES = max(3000, int(24000 * BENCH_SCALE))
+_SCAN_DUP = int(SCAN_PAGES * 0.90)   # shared class-cache image
+_SCAN_UNIQ = int(SCAN_PAGES * 0.07)  # unique heap remainder
+
+
+def _build_scan_workload(engine, backend=None):
+    from repro.ksm.batch import BatchKsmScanner
+    from repro.ksm.scanner import KsmConfig, KsmScanner, ScanPolicy
+    from repro.mem.address_space import PageTable
+    from repro.mem.physmem import HostPhysicalMemory
+    from repro.sim.clock import SimClock
+    from repro.sim.rng import stable_hash64
+
+    clock = SimClock()
+    physmem = HostPhysicalMemory(
+        capacity_bytes=2 * SCAN_TABLES * SCAN_PAGES * 4096, page_size=4096
+    )
+    config = KsmConfig(scan_policy=ScanPolicy.FULL)
+    if engine == "object":
+        scanner = KsmScanner(physmem, clock, config)
+    else:
+        scanner = BatchKsmScanner(
+            physmem, clock, config, columnar_backend=backend
+        )
+    tables = []
+    for t in range(SCAN_TABLES):
+        table = PageTable(f"jvm{t}")
+        for vpn in range(SCAN_PAGES):
+            if vpn < _SCAN_DUP:
+                token = stable_hash64("shared-classes", vpn)
+            elif vpn < _SCAN_DUP + _SCAN_UNIQ:
+                token = stable_hash64("heap", t, vpn)
+            else:
+                token = stable_hash64("volatile", t, vpn, 0)
+            physmem.map_token(table, vpn, token)
+        scanner.register(table)
+        tables.append(table)
+    return physmem, scanner, tables
+
+
+def _measure_scan(engine, backend=None, passes=5):
+    """Best steady-state wall of one full scan pass (plus final stats)."""
+    from repro.sim.rng import stable_hash64
+
+    physmem, scanner, tables = _build_scan_workload(engine, backend)
+    budget = SCAN_TABLES * SCAN_PAGES
+    for _ in range(3):  # settle: merge the duplicates, warm volatility
+        scanner.scan_pages(budget)
+    best = float("inf")
+    for epoch in range(1, passes + 1):
+        for t, table in enumerate(tables):
+            for vpn in range(_SCAN_DUP + _SCAN_UNIQ, SCAN_PAGES):
+                physmem.write_token(
+                    table, vpn, stable_hash64("volatile", t, vpn, epoch)
+                )
+        started = time.perf_counter()
+        scanned = scanner.scan_pages(budget)
+        best = min(best, time.perf_counter() - started)
+        assert scanned == budget
+    return best, scanner.snapshot_stats()
+
+
+def test_scan_engine_speedup():
+    """Steady-state scan passes: batch engine vs the object baseline."""
+    from repro.core.columnar.backend import (
+        BACKEND_NUMPY,
+        BACKEND_STDLIB,
+        numpy_available,
+    )
+
+    object_wall, object_stats = _measure_scan("object")
+    batch_backend = (
+        BACKEND_NUMPY if numpy_available() else BACKEND_STDLIB
+    )
+    batch_wall, batch_stats = _measure_scan("batch", batch_backend)
+    stdlib_wall, stdlib_stats = _measure_scan("batch", BACKEND_STDLIB)
+
+    def fingerprint(stats):
+        return (
+            stats.merges, stats.pages_scanned, stats.volatile_skips,
+            stats.pages_shared, stats.pages_sharing, stats.full_scans,
+        )
+
+    identical = (
+        fingerprint(batch_stats) == fingerprint(object_stats)
+        == fingerprint(stdlib_stats)
+    )
+    assert identical, (
+        fingerprint(object_stats), fingerprint(batch_stats),
+        fingerprint(stdlib_stats),
+    )
+
+    scan = {
+        "tables": SCAN_TABLES,
+        "pages_per_table": SCAN_PAGES,
+        "object_wall_s": round(object_wall, 4),
+        "batch_wall_s": round(batch_wall, 4),
+        "batch_backend": batch_backend,
+        "stdlib_wall_s": round(stdlib_wall, 4),
+        "speedup_batch": round(object_wall / batch_wall, 3),
+        "speedup_stdlib": round(object_wall / stdlib_wall, 3),
+        "numpy_available": numpy_available(),
+        "identical": identical,
+    }
+    REPORT["scan"] = scan
+    print(
+        "\nscan pass ({}x{} pages): object {:.1f} ms, batch[{}] {:.1f} ms "
+        "({:.2f}x), batch[stdlib] {:.1f} ms ({:.2f}x)".format(
+            SCAN_TABLES, SCAN_PAGES, object_wall * 1e3, batch_backend,
+            batch_wall * 1e3, scan["speedup_batch"],
+            stdlib_wall * 1e3, scan["speedup_stdlib"],
+        )
+    )
+
+    # Acceptance bar for the batch engine, gated like the columnar
+    # analysis assert: tiny scales leave too little work per pass for
+    # the vectorized kernels to amortize their fixed costs.
+    if BENCH_SCALE >= 0.1:
+        if numpy_available():
+            assert scan["speedup_batch"] >= 5.0, scan
+        assert scan["speedup_stdlib"] >= 1.3, scan

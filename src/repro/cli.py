@@ -95,6 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     common.add_argument(
+        "--scan-engine",
+        choices=["object", "batch"],
+        default="object",
+        help=(
+            "KSM scanner implementation: 'object' per-page walk or "
+            "'batch' columnar whole-worklist kernels (identical "
+            "results, faster passes)"
+        ),
+    )
+    common.add_argument(
         "--tiering",
         choices=["off", "hints", "compress", "balloon", "combined"],
         default="off",
@@ -113,6 +123,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "'columnar' vectorized arrays (numpy when available, "
             "stdlib fallback otherwise), or an explicitly pinned "
             "columnar implementation; $REPRO_BACKEND sets the default"
+        ),
+    )
+    common.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help=(
+            "profile the run per phase (build/warmup/workload/tiering/"
+            "scan/dump/accounting) and write the wall+CPU JSON report "
+            "to PATH; profiled runs bypass the result cache"
         ),
     )
     common.add_argument(
@@ -167,6 +185,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("name", choices=SCENARIOS)
     scenario.add_argument(
+        "--deployment",
+        choices=[d.value for d in CacheDeployment],
+        default="none",
+    )
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help=(
+            "run one scenario under the phase profiler and print the "
+            "per-phase wall/CPU table"
+        ),
+    )
+    profile.add_argument("name", choices=SCENARIOS)
+    profile.add_argument(
         "--deployment",
         choices=[d.value for d in CacheDeployment],
         default="none",
@@ -261,6 +292,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events", type=int, default=0, metavar="N",
         help="print the first N timeline events (0 = none)",
     )
+    fleet.add_argument(
+        "--calibrate", type=int, default=0, metavar="N",
+        help=(
+            "after the run, re-simulate N sampled occupied hosts as "
+            "real guest memory scanned by the batch KSM engine and "
+            "report the analytic-vs-simulated savings error (0 = off)"
+        ),
+    )
     cache_cmd = sub.add_parser(
         "cache", help="inspect or wipe the result cache"
     )
@@ -309,6 +348,7 @@ def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
         measurement_ticks=args.ticks,
         seed=args.seed,
         scan_policy=args.scan_policy,
+        scan_engine=getattr(args, "scan_engine", "object"),
         faults=_fault_plan(args),
         tiering=getattr(args, "tiering", "off"),
         # Canonicalized here (None -> $REPRO_BACKEND -> "dict";
@@ -318,12 +358,42 @@ def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
     )
 
 
+def _run_scenario_result(args, scenario: str, deployment):
+    """Run a scenario request: cached normally, direct when profiled."""
+    request = _scenario_request(args, scenario, deployment)
+    profile_path = getattr(args, "profile", None)
+    if profile_path is None and args.command != "profile":
+        return run_scenario_cached(request, cache=_cache_from(args))
+    from repro.perf import PhaseProfiler
+
+    profiler = PhaseProfiler()
+    result = run_scenario(
+        request.scenario,
+        request.deployment,
+        scale=request.scale,
+        measurement_ticks=request.measurement_ticks,
+        seed=request.seed,
+        faults=request.faults,
+        scan_policy=request.scan_policy,
+        scan_engine=request.scan_engine,
+        tiering=request.tiering,
+        backend=request.backend,
+        profiler=profiler,
+    )
+    print(profiler.render(
+        f"phase profile: {scenario} ({deployment.value}), "
+        f"scale={args.scale}, engine={request.scan_engine}"
+    ))
+    if profile_path is not None:
+        profiler.write_json(profile_path)
+        print(f"profile JSON written to {profile_path}")
+    print()
+    return result
+
+
 def _run_breakdown_figure(figure: str, args) -> None:
     scenario, deployment, kind = _BREAKDOWN_FIGURES[figure]
-    result = run_scenario_cached(
-        _scenario_request(args, scenario, deployment),
-        cache=_cache_from(args),
-    )
+    result = _run_scenario_result(args, scenario, deployment)
     title = (
         f"{figure}: {scenario} ({deployment.value}), scale={args.scale}"
     )
@@ -368,13 +438,15 @@ def _run_consolidation(figure: str, args) -> None:
     if figure == "fig7":
         result = run_daytrader_consolidation(
             footprint_scale=args.scale, seed=args.seed, faults=faults,
-            scan_policy=args.scan_policy, jobs=args.jobs, cache=cache,
+            scan_policy=args.scan_policy, scan_engine=args.scan_engine,
+            jobs=args.jobs, cache=cache,
         )
         unit = "req/s"
     else:
         result = run_specj_consolidation(
             footprint_scale=args.scale, seed=args.seed, faults=faults,
-            scan_policy=args.scan_policy, jobs=args.jobs, cache=cache,
+            scan_policy=args.scan_policy, scan_engine=args.scan_engine,
+            jobs=args.jobs, cache=cache,
         )
         unit = "EjOPS"
     print(render_series(
@@ -410,6 +482,7 @@ def _run_doctor(args) -> None:
         seed=args.seed,
         faults=faults,
         scan_policy=args.scan_policy,
+        scan_engine=getattr(args, "scan_engine", "object"),
     )
     mode = "clean collection" if faults is None else f"faults {args.faults}"
     print(f"doctor: {args.name} ({args.deployment}), {mode}")
@@ -484,6 +557,17 @@ def _run_fleet(args) -> int:
     )
     result = run_fleet_scenario(scenario, jobs=args.jobs)
     report = result.as_dict()
+    calibration = None
+    if args.calibrate > 0:
+        from repro.datacenter.calibrate import calibrate_fleet
+
+        calibration = calibrate_fleet(
+            result.fleet,
+            sample=args.calibrate,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+        report["calibration"] = calibration.as_dict()
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.bench_out:
         with open(args.bench_out, "w") as handle:
@@ -533,6 +617,8 @@ def _run_fleet(args) -> int:
                 f"{delta / MiB:+.0f} MB saved"
             )
         print(f"  placement fingerprint: {report['placement_fingerprint']}")
+        if calibration is not None:
+            print(calibration.render())
         if args.events > 0:
             print()
             print(result.fleet.log.render(limit=args.events))
@@ -648,12 +734,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_pressure(args)
         elif command == "cache":
             _run_cache(args)
-        elif command == "scenario":
-            result = run_scenario_cached(
-                _scenario_request(
-                    args, args.name, CacheDeployment(args.deployment)
-                ),
-                cache=_cache_from(args),
+        elif command in ("scenario", "profile"):
+            result = _run_scenario_result(
+                args, args.name, CacheDeployment(args.deployment)
             )
             print(render_vm_breakdown(
                 result.vm_breakdown,

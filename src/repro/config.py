@@ -77,6 +77,9 @@ class KsmSettings:
     #: Scan policy ("full", "incremental" or "hybrid"); "full" is the
     #: paper's configuration, the others use PML-style dirty tracking.
     scan_policy: str = "full"
+    #: Scan engine ("object", the historical per-page scanner, or
+    #: "batch", the columnar engine — identical results, bulk kernels).
+    scan_engine: str = "object"
 
 
 #: Tiering modes accepted by :class:`TieringSettings` and the CLI.

@@ -70,6 +70,7 @@ def measure_footprint(
     seed: int = 20130421,
     faults=None,
     scan_policy: str = "full",
+    scan_engine: str = "object",
 ) -> Footprint:
     """Stage 1: measure R and S from a small page-level testbed.
 
@@ -90,7 +91,9 @@ def measure_footprint(
         seed=seed,
         scale=scale,
     )
-    config.ksm = dataclasses.replace(config.ksm, scan_policy=scan_policy)
+    config.ksm = dataclasses.replace(
+        config.ksm, scan_policy=scan_policy, scan_engine=scan_engine
+    )
     if scale < 1.0:
         config.host_ram_bytes = max(
             int(config.host_ram_bytes * scale), 64 * MiB
@@ -177,6 +180,7 @@ class FootprintRequest:
     measurement_ticks: int = 4
     seed: int = 20130421
     scan_policy: str = "full"
+    scan_engine: str = "object"
     faults: Optional[object] = None
 
     def cache_parts(self):
@@ -196,6 +200,7 @@ def _measure_footprint_request(request: FootprintRequest) -> Footprint:
         seed=request.seed,
         faults=request.faults,
         scan_policy=request.scan_policy,
+        scan_engine=request.scan_engine,
     )
 
 
@@ -252,6 +257,7 @@ def _sweep(
     seed: int,
     faults=None,
     scan_policy: str = "full",
+    scan_engine: str = "object",
     measurement_ticks: int = 4,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -278,6 +284,7 @@ def _sweep(
                 measurement_ticks=measurement_ticks,
                 seed=seed,
                 scan_policy=scan_policy,
+                scan_engine=scan_engine,
                 faults=faults,
             ),
         )
@@ -313,6 +320,7 @@ def run_daytrader_consolidation(
     seed: int = 20130421,
     faults=None,
     scan_policy: str = "full",
+    scan_engine: str = "object",
     measurement_ticks: int = 4,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -345,6 +353,7 @@ def run_daytrader_consolidation(
         seed,
         faults=faults,
         scan_policy=scan_policy,
+        scan_engine=scan_engine,
         measurement_ticks=measurement_ticks,
         jobs=jobs,
         cache=cache,
@@ -359,6 +368,7 @@ def run_specj_consolidation(
     seed: int = 20130421,
     faults=None,
     scan_policy: str = "full",
+    scan_engine: str = "object",
     measurement_ticks: int = 4,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -388,6 +398,7 @@ def run_specj_consolidation(
         seed,
         faults=faults,
         scan_policy=scan_policy,
+        scan_engine=scan_engine,
         measurement_ticks=measurement_ticks,
         jobs=jobs,
         cache=cache,

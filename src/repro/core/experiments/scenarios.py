@@ -91,8 +91,10 @@ def run_scenario(
     seed: int = 20130421,
     faults: Optional[FaultPlan] = None,
     scan_policy: str = "full",
+    scan_engine: str = "object",
     tiering: str = "off",
     backend: str = "dict",
+    profiler=None,
 ) -> ScenarioResult:
     """Build, run and analyse one breakdown scenario.
 
@@ -101,11 +103,15 @@ def run_scenario(
     ``faults`` plan, collection runs in resilient mode and the result
     carries the collection and validation reports.  ``scan_policy``
     selects the KSM scan policy ("full", the paper's configuration, or
-    the dirty-log-driven "incremental"/"hybrid").  ``tiering`` enables
+    the dirty-log-driven "incremental"/"hybrid") and ``scan_engine``
+    the scanner implementation ("object" per-page or "batch" columnar —
+    identical results).  ``tiering`` enables
     the working-set tiering engine ("off", "hints", "compress",
     "balloon" or "combined").  ``backend`` picks the dump-analysis
     pipeline ("dict", "columnar", "columnar-numpy", "columnar-stdlib");
-    every backend produces identical breakdowns.
+    every backend produces identical breakdowns.  ``profiler`` (a
+    :class:`repro.perf.PhaseProfiler`) accumulates per-phase wall/CPU
+    cost; profiled runs should bypass the result cache.
     """
     specs = _guest_specs(scenario, scale)
     config = TestbedConfig(
@@ -115,7 +121,9 @@ def run_scenario(
         scale=scale,
         backend=backend,
     )
-    config.ksm = replace(config.ksm, scan_policy=scan_policy)
+    config.ksm = replace(
+        config.ksm, scan_policy=scan_policy, scan_engine=scan_engine
+    )
     if tiering != "off":
         from repro.config import TieringSettings
 
@@ -130,7 +138,7 @@ def run_scenario(
         )
     if measurement_ticks is not None:
         config.measurement_ticks = measurement_ticks
-    testbed = KvmTestbed(specs, config)
+    testbed = KvmTestbed(specs, config, profiler=profiler)
     result = testbed.measure(faults=faults)
     return ScenarioResult(
         scenario=scenario,
@@ -162,6 +170,10 @@ class ScenarioRequest:
     measurement_ticks: Optional[int] = None
     seed: int = 20130421
     scan_policy: str = "full"
+    #: Scanner implementation; like ``backend``, part of the cache
+    #: fingerprint so engine runs are never mixed even though the
+    #: engines produce identical results.
+    scan_engine: str = "object"
     faults: Optional[FaultPlan] = None
     tiering: str = "off"
     #: Dump-analysis backend.  Part of the frozen dataclass, hence of
@@ -186,6 +198,7 @@ def run_scenario_request(request: ScenarioRequest) -> ScenarioResult:
         seed=request.seed,
         faults=request.faults,
         scan_policy=request.scan_policy,
+        scan_engine=request.scan_engine,
         tiering=request.tiering,
         backend=request.backend,
     )

@@ -177,12 +177,19 @@ class KvmTestbed:
     """Builds and drives one multi-guest KVM measurement."""
 
     def __init__(
-        self, specs: List[GuestSpec], config: Optional[TestbedConfig] = None
+        self,
+        specs: List[GuestSpec],
+        config: Optional[TestbedConfig] = None,
+        profiler=None,
     ) -> None:
         if not specs:
             raise ValueError("a testbed needs at least one guest")
         self.specs = specs
         self.config = config or TestbedConfig()
+        #: Optional :class:`repro.perf.PhaseProfiler`; when set, build,
+        #: warm-up, workload, tiering, scan, dump and accounting phases
+        #: accumulate wall/CPU cost into it.
+        self.profiler = profiler
         cfg = self.config
         self.host = KvmHost(
             cfg.host_ram_bytes,
@@ -191,6 +198,7 @@ class KvmTestbed:
                 pages_to_scan=cfg.ksm.pages_to_scan,
                 sleep_millisecs=cfg.ksm.sleep_millisecs,
                 scan_policy=cfg.ksm.scan_policy,
+                scan_engine=cfg.ksm.scan_engine,
             ),
             seed=cfg.seed,
         )
@@ -290,22 +298,35 @@ class KvmTestbed:
         scanner.run_until_converged(max_passes=8)
         scanner.config.pages_to_scan = normal
 
+    def _phase(self, name: str):
+        """A profiler stopwatch for ``name`` (no-op when unprofiled)."""
+        if self.profiler is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.profiler.phase(name)
+
     def run(self) -> None:
         """The measurement window: workload ticks interleaved with KSM."""
         if not self._built:
-            self.build()
+            with self._phase("build"):
+                self.build()
         if self._ran:
             raise RuntimeError("testbed already ran")
         if self.config.ksm_enabled:
-            self.warmup()
+            with self._phase("warmup"):
+                self.warmup()
         tick_ms = int(self.config.tick_minutes * 60_000)
         for _ in range(self.config.measurement_ticks):
-            for jvm in self.jvms.values():
-                jvm.tick()
+            with self._phase("workload"):
+                for jvm in self.jvms.values():
+                    jvm.tick()
             if self.tiering is not None:
-                self.tiering.tick()
+                with self._phase("tiering"):
+                    self.tiering.tick()
             if self.config.ksm_enabled:
-                self.host.ksm.run_for_ms(tick_ms)
+                with self._phase("scan"):
+                    self.host.ksm.run_for_ms(tick_ms)
             else:
                 # Keep the simulated clock comparable across arms.
                 self.host.clock.advance(tick_ms)
@@ -323,16 +344,20 @@ class KvmTestbed:
         """
         if not self._ran:
             self.run()
-        dump = collect_system_dump(self.host, self.kernels, faults=faults)
-        accounting = owner_oriented_accounting(
-            dump, backend=self.config.backend
-        )
-        validation = None
-        if faults is not None:
-            validation = validate_dump(dump)
-            apply_degradation(
-                accounting, dump, validation, dump.collection
+        with self._phase("dump"):
+            dump = collect_system_dump(
+                self.host, self.kernels, faults=faults
             )
+        with self._phase("accounting"):
+            accounting = owner_oriented_accounting(
+                dump, backend=self.config.backend
+            )
+            validation = None
+            if faults is not None:
+                validation = validate_dump(dump)
+                apply_degradation(
+                    accounting, dump, validation, dump.collection
+                )
         return MeasurementResult(
             vm_breakdown=vm_breakdown(accounting),
             java_breakdown=java_breakdown(accounting),

@@ -159,7 +159,7 @@ class PowerVmHost(HypervisorHost):
             target = self.physmem.get_frame(target_fid)
             if target.token != token:
                 continue  # rewritten since grouping
-            target.ksm_stable = True
+            self.physmem.mark_ksm_stable(target_fid)
             for table, vpn in mappings[1:]:
                 fid = table.translate(vpn)
                 if fid is None or fid == target_fid:

@@ -45,7 +45,7 @@ class SatoriRegistry:
         if existing is not None:
             frame = self.physmem.frame(existing)
             if frame is not None and frame.token == token:
-                frame.ksm_stable = True
+                self.physmem.mark_ksm_stable(existing)
                 if table.is_mapped(vpn):
                     self.physmem.merge_into(table, vpn, existing)
                 else:

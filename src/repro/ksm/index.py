@@ -41,12 +41,15 @@ UnstableNode = Tuple[str, "PageTable", int]
 class TokenIndex:
     """O(1) token → (stable | unstable) node index."""
 
-    __slots__ = ("_nodes", "_stable_tokens", "_unstable_tokens")
+    __slots__ = ("_nodes", "_stable_tokens", "_unstable_tokens", "_stable_rev")
 
     def __init__(self) -> None:
         self._nodes: Dict[int, tuple] = {}
         self._stable_tokens: Set[int] = set()
         self._unstable_tokens: Set[int] = set()
+        # Bumped whenever the stable node set (or any stable fid) can
+        # have changed; lets callers cache stable-tree projections.
+        self._stable_rev = 0
 
     # ------------------------------------------------------------------
     # The single shared probe
@@ -57,6 +60,11 @@ class TokenIndex:
         ``(UNSTABLE, table, vpn)`` or None."""
         return self._nodes.get(token)
 
+    def bulk_lookup(self, tokens) -> List[Optional[tuple]]:
+        """One :meth:`lookup` per token, as a list (batch-engine probe)."""
+        get = self._nodes.get
+        return [get(token) for token in tokens]
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -66,17 +74,38 @@ class TokenIndex:
         self._nodes[token] = (STABLE, fid)
         self._unstable_tokens.discard(token)
         self._stable_tokens.add(token)
+        self._stable_rev += 1
 
     def set_unstable(self, token: int, table: "PageTable", vpn: int) -> None:
         """Install (or replace with) an unstable candidate for ``token``."""
         self._nodes[token] = (UNSTABLE, table, vpn)
-        self._stable_tokens.discard(token)
+        if token in self._stable_tokens:
+            self._stable_tokens.discard(token)
+            self._stable_rev += 1
         self._unstable_tokens.add(token)
+
+    def bulk_set_unstable_fresh(
+        self, tokens, table: "PageTable", vpns
+    ) -> None:
+        """Bulk-insert unstable candidates for tokens with **no** node.
+
+        The batch engine's fast path for settled, never-seen content:
+        the caller guarantees every token currently has no node (it just
+        observed ``lookup(token) is None`` with no intervening mutation
+        of these tokens), so the stable-set discard in
+        :meth:`set_unstable` can be skipped wholesale.
+        """
+        nodes = self._nodes
+        for token, vpn in zip(tokens, vpns):
+            nodes[token] = (UNSTABLE, table, vpn)
+        self._unstable_tokens.update(tokens)
 
     def drop(self, token: int) -> None:
         """Remove whatever node ``token`` has (no-op when absent)."""
         if self._nodes.pop(token, None) is not None:
-            self._stable_tokens.discard(token)
+            if token in self._stable_tokens:
+                self._stable_tokens.discard(token)
+                self._stable_rev += 1
             self._unstable_tokens.discard(token)
 
     def clear_unstable(self) -> None:
@@ -110,6 +139,16 @@ class TokenIndex:
     @property
     def stable_count(self) -> int:
         return len(self._stable_tokens)
+
+    @property
+    def stable_rev(self) -> int:
+        """Changes whenever the stable projection may have changed."""
+        return self._stable_rev
+
+    def stable_fids(self) -> List[int]:
+        """The fid of every stable node (order unspecified)."""
+        nodes = self._nodes
+        return [nodes[token][1] for token in self._stable_tokens]
 
     @property
     def unstable_count(self) -> int:

@@ -83,6 +83,10 @@ from repro.perf.scancost import (
 from repro.sim.clock import SimClock
 
 
+#: Valid values for :attr:`KsmConfig.scan_engine`.
+SCAN_ENGINES = ("object", "batch")
+
+
 class ScanPolicy(enum.Enum):
     """How the scanner chooses which pages to examine each pass."""
 
@@ -108,6 +112,10 @@ class KsmConfig:
     dirty_log_cost_us: float = DEFAULT_DIRTY_LOG_COST_US
     #: Under HYBRID, every Nth pass is a full pass (1 = always full).
     hybrid_full_interval: int = 8
+    #: Which scan-engine implementation runs the passes: "object" (the
+    #: per-page loop below) or "batch" (the columnar engine in
+    #: :mod:`repro.ksm.batch`, bit-identical results).
+    scan_engine: str = "object"
 
     def __post_init__(self) -> None:
         if self.pages_to_scan <= 0:
@@ -120,6 +128,11 @@ class KsmConfig:
             raise ValueError("dirty_log_cost_us must be non-negative")
         if self.hybrid_full_interval < 1:
             raise ValueError("hybrid_full_interval must be >= 1")
+        if self.scan_engine not in SCAN_ENGINES:
+            raise ValueError(
+                f"unknown scan_engine {self.scan_engine!r}; "
+                f"expected one of {sorted(SCAN_ENGINES)}"
+            )
 
 
 class KsmScanner:
@@ -151,6 +164,9 @@ class KsmScanner:
         self._started_pass = False
         # FULL-pass worklist cache: table -> (table.version, sorted vpns).
         self._full_cache: Dict[PageTable, Tuple[int, List[int]]] = {}
+        # table.version at the last volatility prune (prunes are no-ops
+        # while the mapping set is unchanged).
+        self._pruned_version: Dict[PageTable, int] = {}
         # INCREMENTAL: pages owing the volatility filter a second look.
         self._recheck: Dict[PageTable, Set[int]] = {}
         # Cold-region hints from the tiering layer: quiescent pages whose
@@ -163,6 +179,13 @@ class KsmScanner:
         self._pass_examined = 0
         self._passes_done = 0
         self._current_pass_full = True
+        # Idle short-circuit: once a whole wrap of the table list yields
+        # no work (every worklist, dirty log, recheck and hint set
+        # empty), scanning is provably a no-op until a table event
+        # raises the hint again — a register, a cold hint, or any dirty
+        # logging (map/unmap/store/COW) on a registered table.  Spares
+        # the len(tables)+1 empty-round spin on every idle call.
+        self._work_hint = True
 
     # ------------------------------------------------------------------
     # Registration
@@ -187,16 +210,20 @@ class KsmScanner:
         # unregistered (dropping its pending worklist) and re-registered.
         self._recheck[table] = {vpn for vpn, _ in table.entries()}
         self._cold_hints[table] = set()
+        table.attach_dirty_sink(self._note_table_event)
+        self._work_hint = True
 
     def unregister(self, table: PageTable) -> None:
         """Stop scanning ``table`` (existing merges stay in place)."""
         for index, existing in enumerate(self._tables):
             if existing is table:
                 del self._tables[index]
+                table.detach_dirty_sink(self._note_table_event)
                 self._last_tokens.pop(table, None)
                 self._recheck.pop(table, None)
                 self._cold_hints.pop(table, None)
                 self._full_cache.pop(table, None)
+                self._pruned_version.pop(table, None)
                 # Unstable candidates pointing into this table must not
                 # survive it: a later identical page would merge against
                 # an unregistered mapping (kernel removes the mm's rmap
@@ -223,6 +250,10 @@ class KsmScanner:
     def registered_tables(self) -> Tuple[PageTable, ...]:
         return tuple(self._tables)
 
+    def _note_table_event(self, _vpn: int = -1) -> None:
+        """Dirty-sink callback: some registered table has new work."""
+        self._work_hint = True
+
     # ------------------------------------------------------------------
     # Scanning
     # ------------------------------------------------------------------
@@ -230,6 +261,18 @@ class KsmScanner:
     def scan_pages(self, budget: int) -> int:
         """Examine up to ``budget`` pages; returns the number examined."""
         if budget <= 0 or not self._tables:
+            return 0
+        if not self._work_hint and self._scan_pos >= len(self._scan_list):
+            # Idle: the last wrap proved every worklist source empty and
+            # no table event has arrived since — O(1) instead of a
+            # len(tables)+1 empty-round spin.  The spin's only lasting
+            # effect in this state is cursor drift (len+2 silent
+            # advances ≡ +2 mod len); replicate it so going idle stays
+            # invisible to the examination order of later scans.
+            if self._started_pass:
+                self._table_cursor = (
+                    self._table_cursor + 2
+                ) % len(self._tables)
             return 0
         examined = 0
         # Guard against spinning forever when no table yields work.
@@ -239,6 +282,9 @@ class KsmScanner:
                 if not self._advance_table():
                     empty_rounds += 1
                     if empty_rounds > len(self._tables) + 1:
+                        # Every source of work is drained; sleep until
+                        # the next dirty/register/hint event.
+                        self._work_hint = False
                         break
                     continue
                 empty_rounds = 0
@@ -378,7 +424,16 @@ class KsmScanner:
             last = self._last_tokens.get(table)
             if not last:
                 continue
-            dead = [vpn for vpn in last if not table.is_mapped(vpn)]
+            # Entries are only recorded for mapped vpns, and the pruned
+            # state was itself all-mapped, so unless the mapping *set*
+            # changed since the last prune there is nothing dead.
+            version = table.version
+            if self._pruned_version.get(table) == version:
+                continue
+            self._pruned_version[table] = version
+            # C-speed key-view difference instead of a per-vpn
+            # is_mapped probe; survivors keep their insertion order.
+            dead = last.keys() - table.mapped_vpns()
             for vpn in dead:
                 del last[vpn]
 
@@ -451,12 +506,12 @@ class KsmScanner:
             # Same guest-shared frame reached through two mappings; nothing
             # to merge at the host level, but promote it to stable so later
             # candidates can join it.
-            frame.ksm_stable = True
+            self.physmem.mark_ksm_stable(fid)
             self._index.set_stable(token, fid)
             return
 
         # Merge: promote the partner's frame to stable, fold this page in.
-        partner_frame.ksm_stable = True
+        self.physmem.mark_ksm_stable(partner_fid)
         self._index.set_stable(token, partner_fid)
         self.physmem.merge_into(table, vpn, partner_fid)
         self.stats.merges += 1
@@ -491,7 +546,10 @@ class KsmScanner:
             raise ValueError(f"table {table.name!r} is not registered")
         before = len(hints)
         hints.update(vpn for vpn in vpns if table.is_mapped(vpn))
-        return len(hints) - before
+        queued = len(hints) - before
+        if queued:
+            self._work_hint = True
+        return queued
 
     def pending_cold_hints(self, table: PageTable) -> int:
         """Hinted vpns not yet consumed by a pass (introspection)."""

@@ -36,7 +36,14 @@ class PageTable:
     ``"host:qemu-vm1"`` or ``"vm1:pid42"``.
     """
 
-    __slots__ = ("name", "_entries", "_dirty", "_version", "_dirty_sinks")
+    __slots__ = (
+        "name",
+        "_entries",
+        "_dirty",
+        "_version",
+        "_remap_epoch",
+        "_dirty_sinks",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -47,6 +54,11 @@ class PageTable:
         # pre-sorted worklists across passes.
         self._dirty: Dict[int, None] = {}
         self._version = 0
+        # Bumped on every remap (COW breaks, KSM merges) — together
+        # with the version it keys the batch scan engine's cached
+        # vpn→pfn columns: while neither moves, no translation result
+        # can have changed.
+        self._remap_epoch = 0
         # Secondary PML consumers (e.g. the working-set estimator): each
         # sink is a callable fed every dirty vpn, independently of — and
         # unaffected by — the scanner draining the primary log.
@@ -76,6 +88,7 @@ class PageTable:
         except KeyError:
             raise KeyError(f"{self.name}: vpn {vpn:#x} is not mapped") from None
         self._entries[vpn] = pfn
+        self._remap_epoch += 1
         return previous
 
     def unmap(self, vpn: int) -> int:
@@ -92,6 +105,16 @@ class PageTable:
         """Return the pfn for ``vpn``, or None when unmapped."""
         return self._entries.get(vpn)
 
+    def translate_many(self, vpns, missing: int = -1) -> List[int]:
+        """Bulk :meth:`translate`: one pfn per vpn, ``missing`` when unmapped.
+
+        Returns a plain list so callers can hand it straight to a columnar
+        backend (``missing`` defaults to -1, which is safely outside the
+        non-negative pfn space).
+        """
+        get = self._entries.get
+        return [get(vpn, missing) for vpn in vpns]
+
     def is_mapped(self, vpn: int) -> bool:
         return vpn in self._entries
 
@@ -105,6 +128,11 @@ class PageTable:
         """Iterate over (vpn, pfn) pairs in no particular order."""
         return iter(self._entries.items())
 
+    def mapped_vpns(self):
+        """A live *view* of the mapped vpns (supports C-speed set
+        algebra against other dict key views, e.g. bulk pruning)."""
+        return self._entries.keys()
+
     def snapshot(self) -> Dict[int, int]:
         """A copy of the raw mapping (used when collecting dumps)."""
         return dict(self._entries)
@@ -117,6 +145,11 @@ class PageTable:
     def version(self) -> int:
         """Bumped whenever the set of mapped vpns changes."""
         return self._version
+
+    @property
+    def remap_epoch(self) -> int:
+        """Bumped whenever an existing translation is re-pointed."""
+        return self._remap_epoch
 
     def log_dirty(self, vpn: int) -> None:
         """Record that the content visible at ``vpn`` may have changed."""

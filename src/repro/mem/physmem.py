@@ -15,10 +15,80 @@ in :mod:`repro.perf` can compute the penalty.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.mem.address_space import PageTable
 from repro.mem.content import ZERO_TOKEN
+
+_MASK64 = (1 << 64) - 1
+
+
+class FrameMirror:
+    """Dense, fid-indexed shadow of the frame table.
+
+    The batch KSM scan engine needs columnar access to per-frame state
+    (content token, alive/stable) without probing the ``fid -> Frame``
+    dict one page at a time.  Because fids are monotonic and never
+    reused, the mirror can be three flat arrays indexed by fid:
+
+    * ``tokens`` — the exact Python content token per fid (tokens are
+      full unsigned 64-bit hashes, and tests may use arbitrary ints, so
+      exactness lives in a list);
+    * ``masked`` — ``token & 2**64-1`` in an ``array('Q')``, giving a
+      zero-copy ``np.frombuffer`` view for vectorized group-by keys (a
+      masked collision merely routes a group to the slow path — it can
+      never change results);
+    * ``states`` — a ``bytearray`` of {FREE, ACTIVE, STABLE}, likewise
+      viewable zero-copy as uint8;
+    * ``refs`` — the mapping refcount per fid in an ``array('q')``
+      (zero-copy int64 view), which lets the batch engine compute the
+      per-pass sharing gauges without touching a single ``Frame``.
+
+    Slot 0 is a permanent FREE pad (fids start at 1), which lets the
+    batch engine clamp missing translations to index 0 instead of
+    branch-filtering them.  The mirror is maintained by
+    :class:`HostPhysicalMemory` on every frame mutation once attached;
+    attachment is idempotent and backfills from the live frame table.
+    """
+
+    FREE = 0
+    ACTIVE = 1
+    STABLE = 2
+
+    __slots__ = ("tokens", "masked", "states", "refs")
+
+    def __init__(self, next_fid: int, frames: Dict[int, "Frame"]) -> None:
+        self.tokens: List[int] = [0] * next_fid
+        self.masked = array("Q", bytes(8 * next_fid))
+        self.states = bytearray(next_fid)
+        self.refs = array("q", bytes(8 * next_fid))
+        for fid, frame in frames.items():
+            self.tokens[fid] = frame.token
+            self.masked[fid] = frame.token & _MASK64
+            self.states[fid] = (
+                FrameMirror.STABLE if frame.ksm_stable else FrameMirror.ACTIVE
+            )
+            self.refs[fid] = frame.refcount
+
+    def note_alloc(self, fid: int, token: int) -> None:
+        # fids are handed out sequentially, so the new slot is always
+        # exactly one past the end.
+        self.tokens.append(token)
+        self.masked.append(token & _MASK64)
+        self.states.append(FrameMirror.ACTIVE)
+        self.refs.append(1)
+
+    def note_free(self, fid: int) -> None:
+        self.states[fid] = FrameMirror.FREE
+        self.refs[fid] = 0
+
+    def note_token(self, fid: int, token: int) -> None:
+        self.tokens[fid] = token
+        self.masked[fid] = token & _MASK64
+
+    def note_stable(self, fid: int) -> None:
+        self.states[fid] = FrameMirror.STABLE
 
 
 class Frame:
@@ -55,6 +125,7 @@ class HostPhysicalMemory:
         self._cow_breaks = 0
         self._frames_ever_allocated = 0
         self._pool_bytes = 0
+        self._mirror: Optional[FrameMirror] = None
 
     # ------------------------------------------------------------------
     # Frame-level primitives
@@ -66,7 +137,20 @@ class HostPhysicalMemory:
         self._next_fid += 1
         self._frames[fid] = Frame(token)
         self._frames_ever_allocated += 1
+        if self._mirror is not None:
+            self._mirror.note_alloc(fid, token)
         return fid
+
+    def attach_frame_mirror(self) -> FrameMirror:
+        """Attach (or return) the columnar :class:`FrameMirror`.
+
+        Idempotent: the first call backfills from the live frame table,
+        later calls return the same mirror.  Once attached, every frame
+        mutation keeps it coherent.
+        """
+        if self._mirror is None:
+            self._mirror = FrameMirror(self._next_fid, self._frames)
+        return self._mirror
 
     def frame(self, fid: int) -> Optional[Frame]:
         """The frame for ``fid``, or None if it has been freed."""
@@ -98,6 +182,8 @@ class HostPhysicalMemory:
 
     def inc_ref(self, fid: int) -> None:
         self.get_frame(fid).refcount += 1
+        if self._mirror is not None:
+            self._mirror.refs[fid] += 1
 
     def dec_ref(self, fid: int) -> None:
         """Drop one reference; the frame is freed when none remain."""
@@ -107,6 +193,20 @@ class HostPhysicalMemory:
             raise AssertionError(f"negative refcount on frame {fid}")
         if frame.refcount == 0:
             del self._frames[fid]
+            if self._mirror is not None:
+                self._mirror.note_free(fid)
+        elif self._mirror is not None:
+            self._mirror.refs[fid] -= 1
+
+    def mark_ksm_stable(self, fid: int) -> None:
+        """Flag ``fid`` as a write-protected KSM-stable frame.
+
+        All stable-bit promotion goes through here (never through direct
+        ``frame.ksm_stable`` stores) so the frame mirror cannot drift.
+        """
+        self.get_frame(fid).ksm_stable = True
+        if self._mirror is not None:
+            self._mirror.note_stable(fid)
 
     # ------------------------------------------------------------------
     # Page-table-level operations (the only way mappings change)
@@ -143,6 +243,8 @@ class HostPhysicalMemory:
         frame = self.get_frame(fid)
         if frame.refcount == 1 and not frame.ksm_stable:
             frame.token = token
+            if self._mirror is not None:
+                self._mirror.note_token(fid, token)
             table.log_dirty(vpn)
             return fid
         self._cow_breaks += 1
@@ -186,9 +288,28 @@ class HostPhysicalMemory:
                 f"({old.token:#x} != {target.token:#x})"
             )
         target.refcount += 1
+        if self._mirror is not None:
+            self._mirror.refs[target_fid] += 1
         table.remap(vpn, target_fid)
         self.dec_ref(old_fid)
         return old_fid
+
+    def merge_many(
+        self, table: PageTable, pairs: Iterable[Tuple[int, int]]
+    ) -> int:
+        """Apply ``(vpn, target_fid)`` merges in order; returns the count.
+
+        The batch scan engine's bulk mutation API: one call per elected
+        token group instead of one :meth:`merge_into` round-trip per
+        page.  Semantics are identical to applying :meth:`merge_into`
+        sequentially (including the no-dirty-log rule).
+        """
+        merge = self.merge_into
+        applied = 0
+        for vpn, target_fid in pairs:
+            merge(table, vpn, target_fid)
+            applied += 1
+        return applied
 
     # ------------------------------------------------------------------
     # Side pools (compressed RAM stores)

@@ -1,6 +1,7 @@
 """Host paging and throughput models for the consolidation experiments."""
 
 from repro.perf.paging import PagingModel
+from repro.perf.profile import PhaseProfiler
 from repro.perf.scancost import scan_cost_ms
 from repro.perf.throughput import (
     DayTraderThroughputModel,
@@ -10,6 +11,7 @@ from repro.perf.tiercost import TieringCostModel
 
 __all__ = [
     "PagingModel",
+    "PhaseProfiler",
     "DayTraderThroughputModel",
     "SpecjScoreModel",
     "TieringCostModel",

@@ -1,0 +1,100 @@
+"""Fleet calibration: the analytic savings model vs real batch scans."""
+
+import json
+
+from repro.cli import main
+from repro.datacenter.calibrate import (
+    calibrate_fleet,
+    sample_hosts,
+    simulate_host_savings,
+)
+from repro.datacenter.controller import FleetScenario, run_fleet_scenario
+from repro.datacenter.fleet import ImageCatalog, converge_host_savings
+from repro.units import GiB
+
+PAGE = 4096
+
+
+def small_fleet(seed=20130421, hosts=6, vms=18):
+    scenario = FleetScenario(
+        host_count=hosts,
+        vm_count=vms,
+        host_ram_bytes=16 * GiB,
+        seed=seed,
+        horizon_ms=5 * 60_000,
+        compare_first_fit=False,
+    )
+    return run_fleet_scenario(scenario).fleet
+
+
+def test_simulation_matches_analytic_at_convergence():
+    catalog = ImageCatalog.generate(7, image_count=4, family_count=2)
+    counts = (("img00", 2), ("img01", 1), ("img02", 1))
+    result = simulate_host_savings(catalog.spec, counts, PAGE, seed=7)
+    analytic = converge_host_savings(catalog.spec, counts, PAGE)
+    assert result["analytic_bytes"] == analytic
+    assert result["simulated_bytes"] == analytic
+    assert analytic > 0
+    assert result["merges"] > 0
+    assert 1 <= result["passes"] <= 8
+
+
+def test_single_vm_host_shares_nothing():
+    catalog = ImageCatalog.generate(3, image_count=2, family_count=2)
+    counts = (("img01", 1),)
+    result = simulate_host_savings(catalog.spec, counts, PAGE, seed=3)
+    assert result["analytic_bytes"] == 0
+    assert result["simulated_bytes"] == 0
+
+
+def test_simulated_never_exceeds_analytic():
+    # Whatever the pass budget, the scanner can only merge duplicates
+    # the analytic fixed point counts (private/volatile filler is
+    # unique by construction).
+    catalog = ImageCatalog.generate(11, image_count=3, family_count=1)
+    counts = (("img00", 3), ("img02", 2))
+    for max_passes in (1, 2, 4):
+        result = simulate_host_savings(
+            catalog.spec, counts, PAGE, seed=11, max_passes=max_passes
+        )
+        assert 0 <= result["simulated_bytes"] <= result["analytic_bytes"]
+
+
+def test_sample_hosts_deterministic_and_occupied_only():
+    fleet = small_fleet()
+    occupied = [host for host in fleet.hosts if host.image_counts]
+    everyone = sample_hosts(fleet, len(occupied) + 5, seed=1)
+    assert everyone == occupied
+    first = sample_hosts(fleet, 2, seed=1)
+    second = sample_hosts(fleet, 2, seed=1)
+    assert [h.name for h in first] == [h.name for h in second]
+    assert len(first) == 2
+    assert all(host.image_counts for host in first)
+
+
+def test_calibrate_fleet_report_and_parallel_identity():
+    fleet = small_fleet()
+    serial = calibrate_fleet(fleet, sample=3, seed=20130421, jobs=1)
+    parallel = calibrate_fleet(fleet, sample=3, seed=20130421, jobs=2)
+    assert serial.as_dict() == parallel.as_dict()
+    assert serial.sampled == min(3, serial.occupied)
+    for row in serial.hosts:
+        assert 0 <= row.simulated_bytes <= row.analytic_bytes
+    assert serial.aggregate_relative_error == 0.0
+    rendered = serial.render()
+    assert "aggregate:" in rendered
+    assert "calibration:" in rendered
+
+
+def test_cli_fleet_calibrate_end_to_end(capsys):
+    rc = main([
+        "fleet", "--hosts", "6", "--vms", "16", "--horizon-minutes", "5",
+        "--calibrate", "3", "--json",
+    ])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    calibration = report["calibration"]
+    assert calibration["sampled_hosts"] >= 1
+    assert calibration["analytic_bytes"] == calibration["simulated_bytes"]
+    for row in calibration["hosts"]:
+        assert 0 <= row["simulated_bytes"] <= row["analytic_bytes"]

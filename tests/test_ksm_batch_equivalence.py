@@ -1,0 +1,251 @@
+"""The batch scan engine is bit-identical to the object scanner.
+
+Random op sequences (writes, maps, unmaps, cold hints, scan bursts,
+timed runs) drive twin universes — one scanned by the per-page object
+engine, one by the columnar batch engine — in lockstep, under all three
+scan policies and under both columnar backends.  After every scan the
+return value must agree; at the end the complete observable state must:
+stats (including scan-cost ``cpu_ms``), convergence history, table
+mappings, visible page contents, volatility bookkeeping, frame counts,
+COW breaks and unstable candidates.
+
+A scenario-level leg repeats the check through the full testbed,
+including under an armed fault-injection plan, and an explicit
+``REPRO_NO_NUMPY=1`` leg pins the stdlib fallback selection.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar.backend import numpy_available
+from repro.ksm import create_scanner
+from repro.ksm.batch import BatchKsmScanner
+from repro.ksm.scanner import KsmConfig, KsmScanner, ScanPolicy
+from repro.mem.address_space import PageTable
+from repro.mem.physmem import HostPhysicalMemory
+from repro.sim.clock import SimClock
+
+N_TABLES = 3
+N_VPNS = 24
+N_TOKENS = 6
+
+POLICIES = [ScanPolicy.FULL, ScanPolicy.INCREMENTAL, ScanPolicy.HYBRID]
+BACKENDS = [
+    pytest.param(
+        "columnar-numpy",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not available"
+        ),
+    ),
+    "columnar-stdlib",
+]
+
+
+def build_universe(policy, engine, backend=None):
+    physmem = HostPhysicalMemory(capacity_bytes=1 << 28, page_size=4096)
+    clock = SimClock()
+    config = KsmConfig(scan_policy=policy)
+    if engine == "object":
+        scanner = KsmScanner(physmem, clock, config)
+    else:
+        scanner = BatchKsmScanner(
+            physmem, clock, config, columnar_backend=backend
+        )
+    tables = []
+    for t in range(N_TABLES):
+        table = PageTable(f"t{t}")
+        for vpn in range(N_VPNS // 2):
+            physmem.map_token(table, vpn, (vpn % N_TOKENS) + 1)
+        scanner.register(table)
+        tables.append(table)
+    return physmem, scanner, tables
+
+
+def apply_op(physmem, scanner, tables, op):
+    """Apply one op; returns an observation or None."""
+    kind = op[0]
+    if kind == "write":
+        _, t, vpn, token = op
+        table = tables[t]
+        if table.is_mapped(vpn):
+            physmem.write_token(table, vpn, token)
+    elif kind == "map":
+        _, t, vpn, token = op
+        table = tables[t]
+        if not table.is_mapped(vpn):
+            physmem.map_token(table, vpn, token)
+    elif kind == "unmap":
+        _, t, vpn = op
+        table = tables[t]
+        if table.is_mapped(vpn):
+            physmem.unmap(table, vpn)
+    elif kind == "hint":
+        _, t, vpns = op
+        return ("hint", scanner.hint_cold(tables[t], vpns))
+    elif kind == "scan":
+        return ("scan", scanner.scan_pages(op[1]))
+    elif kind == "run_ms":
+        stats = scanner.run_for_ms(op[1])
+        return ("run_ms", stats.pages_scanned, stats.cpu_ms)
+    return None
+
+
+def observe(physmem, scanner, tables):
+    state = {
+        "stats": scanner.snapshot_stats(),
+        "history": list(scanner.history),
+        "frames": physmem.frames_in_use,
+        "cow_breaks": physmem.cow_breaks,
+        "unstable": scanner.unstable_candidates,
+        "saved": scanner.saved_bytes,
+        "volatility": [
+            scanner.volatility_tracked(t) for t in tables
+        ],
+    }
+    for i, table in enumerate(tables):
+        state[f"map{i}"] = table.snapshot()
+        state[f"content{i}"] = {
+            vpn: physmem.read_token(table, vpn)
+            for vpn, _ in table.entries()
+        }
+    return state
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(0, N_TABLES - 1),
+            st.integers(0, N_VPNS - 1),
+            st.integers(1, N_TOKENS),
+        ),
+        st.tuples(
+            st.just("map"),
+            st.integers(0, N_TABLES - 1),
+            st.integers(0, N_VPNS - 1),
+            st.integers(1, N_TOKENS),
+        ),
+        st.tuples(
+            st.just("unmap"),
+            st.integers(0, N_TABLES - 1),
+            st.integers(0, N_VPNS - 1),
+        ),
+        st.tuples(
+            st.just("hint"),
+            st.integers(0, N_TABLES - 1),
+            st.lists(st.integers(0, N_VPNS - 1), max_size=3),
+        ),
+        st.tuples(st.just("scan"), st.sampled_from([1, 2, 7, 30, 200])),
+        st.tuples(st.just("run_ms"), st.sampled_from([1, 5, 25])),
+    ),
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("policy", POLICIES)
+@given(ops=ops_strategy)
+@settings(max_examples=30, deadline=None)
+def test_batch_engine_is_bit_identical(policy, backend, ops):
+    ref_pm, ref_sc, ref_tables = build_universe(policy, "object")
+    bat_pm, bat_sc, bat_tables = build_universe(policy, "batch", backend)
+    for step, op in enumerate(ops):
+        ref_obs = apply_op(ref_pm, ref_sc, ref_tables, op)
+        bat_obs = apply_op(bat_pm, bat_sc, bat_tables, op)
+        assert ref_obs == bat_obs, f"step {step}: {op}"
+    ref_state = observe(ref_pm, ref_sc, ref_tables)
+    bat_state = observe(bat_pm, bat_sc, bat_tables)
+    assert ref_state == bat_state
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unregister_reregister_equivalence(backend):
+    """Table churn (the trickiest cursor bookkeeping) stays lockstep."""
+    script = []
+    for burst in ([3, 1, 50], [7, 7], [200], [2, 9, 4]):
+        script.append(("scan", burst))
+
+    def run(engine):
+        physmem, scanner, tables = build_universe(
+            ScanPolicy.INCREMENTAL, engine, backend
+        )
+        outs = []
+        for i, (_, burst) in enumerate(script):
+            for b in burst:
+                outs.append(scanner.scan_pages(b))
+            victim = tables[i % len(tables)]
+            scanner.unregister(victim)
+            outs.append(scanner.scan_pages(40))
+            scanner.register(victim)
+            physmem.write_token(victim, 0, 40 + i)
+        outs.append(scanner.scan_pages(500))
+        return outs, observe(physmem, scanner, tables)
+
+    assert run("object") == run("batch")
+
+
+def test_no_numpy_forces_stdlib_backend(monkeypatch):
+    """REPRO_NO_NUMPY=1 must drop the batch engine to the stdlib ops
+    (and keep it equivalent), never error out."""
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    physmem = HostPhysicalMemory(capacity_bytes=1 << 26, page_size=4096)
+    scanner = create_scanner(
+        physmem, SimClock(), KsmConfig(scan_engine="batch")
+    )
+    assert isinstance(scanner, BatchKsmScanner)
+    assert scanner.columnar_backend == "columnar-stdlib"
+    assert not scanner._ops.is_numpy
+
+    table = PageTable("t0")
+    for vpn in range(16):
+        physmem.map_token(table, vpn, vpn % 3)
+    scanner.register(table)
+    scanner.scan_pages(100)
+    scanner.scan_pages(100)
+
+    ref_pm = HostPhysicalMemory(capacity_bytes=1 << 26, page_size=4096)
+    ref = KsmScanner(ref_pm, SimClock(), KsmConfig())
+    ref_table = PageTable("t0")
+    for vpn in range(16):
+        ref_pm.map_token(ref_table, vpn, vpn % 3)
+    ref.register(ref_table)
+    ref.scan_pages(100)
+    ref.scan_pages(100)
+    assert scanner.snapshot_stats() == ref.snapshot_stats()
+    assert table.snapshot() == ref_table.snapshot()
+
+
+@pytest.mark.parametrize("scan_policy", ["full", "incremental", "hybrid"])
+def test_scenario_level_equivalence(scan_policy):
+    """The full testbed produces identical results under either engine."""
+    from repro.core.experiments.scenarios import run_scenario
+
+    kwargs = dict(
+        scale=0.02, measurement_ticks=2, scan_policy=scan_policy
+    )
+    ref = run_scenario("daytrader4", **kwargs)
+    bat = run_scenario("daytrader4", scan_engine="batch", **kwargs)
+    assert ref.ksm_stats == bat.ksm_stats
+    assert ref.vm_breakdown.rows == bat.vm_breakdown.rows
+    assert ref.java_breakdown.rows == bat.java_breakdown.rows
+    assert ref.accounting == bat.accounting
+
+
+def test_scenario_equivalence_under_faults():
+    """Fault-injected collection does not break engine equivalence."""
+    from repro.core.experiments.scenarios import run_scenario
+    from repro.faults import FaultPlan
+
+    kwargs = dict(scale=0.02, measurement_ticks=2)
+    ref = run_scenario(
+        "daytrader4", faults=FaultPlan.from_spec("1337:0.2"), **kwargs
+    )
+    bat = run_scenario(
+        "daytrader4",
+        faults=FaultPlan.from_spec("1337:0.2"),
+        scan_engine="batch",
+        **kwargs,
+    )
+    assert ref.ksm_stats == bat.ksm_stats
+    assert ref.vm_breakdown.rows == bat.vm_breakdown.rows
+    assert ref.collection_report.render() == bat.collection_report.render()
