@@ -24,10 +24,24 @@ section's gate with a warning instead of failing.
 Runs at different ``REPRO_BENCH_SCALE`` are not comparable; the gate
 warns and exits 0 instead of guessing.
 
+With ``--hugepages-report`` the huge-page trade-off artifact written by
+``repro hugepages --bench-out`` is gated too (and the core report
+becomes optional, so the hugepages smoke job can gate its artifact
+alone).  The hard checks are invariants of the model — KSM savings must
+be identical across THP policies within a scenario, the ``never``
+policy must report zero splits and a 1.0 TLB multiplier, the huge
+bytes sacrificed must equal ``splits * block_pages * 4096``, and no
+point may carry validation findings.  Against the committed
+``benchmarks/BENCH_hugepages.baseline.json`` (same scale, block size
+and seed) the split counts must match exactly: the simulation is
+deterministic, so any drift is a semantic change that needs a baseline
+regeneration, not noise.
+
 Usage::
 
     python benchmarks/check_perf_regression.py BENCH_core.json \
         [--baseline benchmarks/BENCH_core.baseline.json] \
+        [--hugepages-report BENCH_hugepages.json] \
         [--tolerance 0.2]
 """
 
@@ -39,6 +53,9 @@ import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "BENCH_core.baseline.json"
+DEFAULT_HUGEPAGES_BASELINE = (
+    Path(__file__).parent / "BENCH_hugepages.baseline.json"
+)
 
 
 def fraction(analysis: dict, wall_key: str) -> float:
@@ -47,9 +64,24 @@ def fraction(analysis: dict, wall_key: str) -> float:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", type=Path, help="fresh BENCH_core.json")
+    parser.add_argument(
+        "report",
+        type=Path,
+        nargs="?",
+        help="fresh BENCH_core.json (optional with --hugepages-report)",
+    )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument(
+        "--hugepages-report",
+        type=Path,
+        help="fresh BENCH_hugepages.json from `repro hugepages --bench-out`",
+    )
+    parser.add_argument(
+        "--hugepages-baseline",
+        type=Path,
+        default=DEFAULT_HUGEPAGES_BASELINE,
     )
     parser.add_argument(
         "--tolerance",
@@ -59,28 +91,52 @@ def main(argv=None) -> int:
         "= fail only when >20%% slower than the baseline fraction)",
     )
     args = parser.parse_args(argv)
+    if args.report is None and args.hugepages_report is None:
+        parser.error("a core report and/or --hugepages-report is required")
 
-    report = json.loads(args.report.read_text())
-    baseline = json.loads(args.baseline.read_text())
+    failed = False
+    if args.report is not None:
+        report = json.loads(args.report.read_text())
+        baseline = json.loads(args.baseline.read_text())
+        failed = gate_core(report, baseline, args.tolerance) or failed
+    if args.hugepages_report is not None:
+        hp_report = json.loads(args.hugepages_report.read_text())
+        hp_baseline = (
+            json.loads(args.hugepages_baseline.read_text())
+            if args.hugepages_baseline.exists()
+            else {}
+        )
+        failed = gate_hugepages(hp_report, hp_baseline) or failed
+    if failed:
+        print(
+            "FAIL: a fast path regressed relative to its reference "
+            "beyond tolerance"
+        )
+        return 1
+    return 0
+
+
+def gate_core(report: dict, baseline: dict, tolerance: float) -> bool:
+    """Gate the columnar analysis fractions; returns True on failure."""
     analysis = report.get("analysis") or {}
     base_analysis = baseline.get("analysis") or {}
 
     if not analysis:
         print("FAIL: report has no 'analysis' section (bench not run?)")
-        return 1
+        return True
     if not analysis.get("identical", False):
         print("FAIL: columnar breakdowns diverged from the dict pipeline")
-        return 1
+        return True
     if not base_analysis:
         print("warning: baseline has no 'analysis' section; gate skipped")
-        return 0
+        return False
     if report.get("scale") != baseline.get("scale"):
         print(
             f"warning: scale mismatch (report {report.get('scale')} vs "
             f"baseline {baseline.get('scale')}); fractions are not "
             "comparable, gate skipped"
         )
-        return 0
+        return False
 
     failed = False
     checks = [("stdlib_wall_s", "columnar-stdlib")]
@@ -94,7 +150,7 @@ def main(argv=None) -> int:
     for wall_key, label in checks:
         current = fraction(analysis, wall_key)
         base = fraction(base_analysis, wall_key)
-        limit = base * (1.0 + args.tolerance)
+        limit = base * (1.0 + tolerance)
         verdict = "ok" if current <= limit else "FAIL"
         print(
             f"{verdict}: {label} fraction {current:.4f} "
@@ -102,14 +158,7 @@ def main(argv=None) -> int:
         )
         failed = failed or current > limit
 
-    failed = gate_scan(report, baseline, args.tolerance) or failed
-    if failed:
-        print(
-            "FAIL: a fast path regressed relative to its reference "
-            "beyond tolerance"
-        )
-        return 1
-    return 0
+    return gate_scan(report, baseline, tolerance) or failed
 
 
 def gate_scan(report: dict, baseline: dict, tolerance: float) -> bool:
@@ -152,6 +201,91 @@ def gate_scan(report: dict, baseline: dict, tolerance: float) -> bool:
             f"(baseline {base:.4f}, limit {limit:.4f})"
         )
         failed = failed or current > limit
+    return failed
+
+
+def gate_hugepages(report: dict, baseline: dict) -> bool:
+    """Gate the huge-page trade-off artifact; returns True on failure.
+
+    Hard checks are model invariants of the fresh report; the baseline
+    comparison is exact-match on the deterministic split counts and is
+    skipped (with a warning) when no comparable baseline is committed.
+    """
+    points = report.get("points") or {}
+    if not points:
+        print("FAIL: hugepages report has no 'points' (bench not run?)")
+        return True
+
+    failed = False
+    block_pages = report.get("block_pages", 0)
+    by_scenario: dict = {}
+    for key, point in points.items():
+        by_scenario.setdefault(point["scenario"], {})[
+            point["policy"]
+        ] = point
+        if point.get("validation_codes"):
+            print(
+                f"FAIL: {key} carries validation findings "
+                f"{point['validation_codes']}"
+            )
+            failed = True
+        sacrificed = point["thp_splits"] * block_pages * 4096
+        if point["huge_bytes_sacrificed"] != sacrificed:
+            print(
+                f"FAIL: {key} huge_bytes_sacrificed "
+                f"{point['huge_bytes_sacrificed']} != "
+                f"{point['thp_splits']} splits * {block_pages} pages * 4096"
+            )
+            failed = True
+    for scenario, policies in sorted(by_scenario.items()):
+        saved = {point["saved_bytes"] for point in policies.values()}
+        if len(saved) != 1:
+            print(
+                f"FAIL: {scenario} KSM savings vary across THP policies "
+                f"({sorted(saved)}); split-on-merge must preserve sharing"
+            )
+            failed = True
+        never = policies.get("never")
+        if never and (
+            never["thp_splits"] != 0 or never["tlb_multiplier"] != 1.0
+        ):
+            print(
+                f"FAIL: {scenario}/never reports "
+                f"{never['thp_splits']} splits, "
+                f"tlb x{never['tlb_multiplier']} (expected 0, x1.0)"
+            )
+            failed = True
+    if not failed:
+        print(f"ok: hugepages invariants hold over {len(points)} point(s)")
+
+    base_points = baseline.get("points") or {}
+    if not base_points:
+        print(
+            "warning: no hugepages baseline committed; only invariants "
+            "were gated"
+        )
+        return failed
+    comparable = all(
+        report.get(key) == baseline.get(key)
+        for key in ("scale", "ticks", "seed", "block_pages")
+    )
+    if not comparable:
+        print(
+            "warning: hugepages baseline ran at a different "
+            "scale/ticks/seed/block_pages; split-count gate skipped"
+        )
+        return failed
+    for key in sorted(base_points):
+        if key not in points:
+            print(f"warning: baseline point {key} missing from report")
+            continue
+        current = points[key]["thp_splits"]
+        base = base_points[key]["thp_splits"]
+        verdict = "ok" if current == base else "FAIL"
+        print(
+            f"{verdict}: {key} thp_splits {current} (baseline {base})"
+        )
+        failed = failed or current != base
     return failed
 
 

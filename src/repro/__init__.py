@@ -9,11 +9,16 @@ of it.
 
 Quick start::
 
-    from repro import run_scenario, CacheDeployment, render_java_breakdown
+    from repro import (
+        CacheDeployment, ScenarioSpec, render_java_breakdown, run,
+    )
 
-    result = run_scenario("daytrader4", CacheDeployment.SHARED_COPY,
-                          scale=0.1)
-    print(render_java_breakdown(result.java_breakdown, "Fig. 5(a)"))
+    spec = ScenarioSpec("daytrader4", CacheDeployment.SHARED_COPY,
+                        scale=0.1)
+    print(render_java_breakdown(run(spec).java_breakdown, "Fig. 5(a)"))
+
+(The positional ``run_scenario(...)`` entry points still work but are
+deprecated shims over ``run``/``run_cached``.)
 
 See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
 system inventory.
@@ -24,8 +29,10 @@ from repro.config import (
     GcPolicy,
     GuestConfig,
     HostConfig,
+    HugePageSettings,
     JvmConfig,
     KsmSettings,
+    ScenarioSpec,
     TieringSettings,
     WorkloadConfig,
 )
@@ -48,12 +55,16 @@ from repro.core.dump import SystemDump, collect_system_dump
 from repro.core.experiments import (
     ConsolidationResult,
     GuestSpec,
+    HugePageCurveResult,
     KvmTestbed,
     PowerVmResult,
     PressureFamilyResult,
     ScenarioResult,
     TestbedConfig,
+    run,
+    run_cached,
     run_daytrader_consolidation,
+    run_hugepage_tradeoff,
     run_powervm_experiment,
     run_pressure_family,
     run_scenario,
@@ -107,7 +118,9 @@ __all__ = [
     "GuestConfig",
     "HostConfig",
     "JvmConfig",
+    "HugePageSettings",
     "KsmSettings",
+    "ScenarioSpec",
     "TieringSettings",
     "WorkloadConfig",
     # substrates
@@ -147,8 +160,12 @@ __all__ = [
     "TestbedConfig",
     "ScenarioResult",
     "ScenarioRequest",
+    "run",
+    "run_cached",
     "run_scenario",
     "run_scenario_cached",
+    "HugePageCurveResult",
+    "run_hugepage_tradeoff",
     "PowerVmResult",
     "run_powervm_experiment",
     "ConsolidationResult",

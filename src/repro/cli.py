@@ -6,6 +6,8 @@ Usage::
     python -m repro fig5a --scale 1.0
     python -m repro fig7
     python -m repro scenario daytrader4 --deployment shared-copy
+    python -m repro scenario daytrader4 --thp-policy khugepaged
+    python -m repro hugepages --json
     python -m repro doctor daytrader4 --faults 1337:0.25
     python -m repro tables
 
@@ -13,6 +15,13 @@ Figures 2–5 run the page-level breakdown scenarios; Fig. 6 the PowerVM
 experiment; Figs. 7–8 the consolidation sweeps.  ``--scale`` shrinks all
 memory sizes proportionally (default 0.1 for interactive use; pass 1.0
 for the paper's actual sizes).
+
+Every scenario-running subcommand shares one option set, declared once
+in :func:`add_scenario_options` and decoded once by
+:func:`spec_from_args` into a :class:`repro.config.ScenarioSpec` — the
+single value object behind the whole experiment API.  ``--thp-policy``
+/ ``--hugepages`` switch the guests to transparent huge pages (KSM then
+splits huge blocks to merge, the trade-off ``repro hugepages`` charts).
 
 ``--faults SEED[:RATE]`` arms the fault-injection plan on any dump-based
 command: collection turns resilient (retry, backoff, quarantine), the
@@ -36,6 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.config import THP_POLICIES, ScenarioSpec
 from repro.core.experiments.consolidation import (
     run_daytrader_consolidation,
     run_specj_consolidation,
@@ -43,9 +53,8 @@ from repro.core.experiments.consolidation import (
 from repro.core.experiments.powervm import run_powervm_experiment
 from repro.core.experiments.scenarios import (
     SCENARIOS,
-    ScenarioRequest,
-    run_scenario,
-    run_scenario_cached,
+    run,
+    run_cached,
 )
 from repro.core.preload import CacheDeployment
 from repro.exec.cache import ResultCache, default_cache
@@ -73,18 +82,25 @@ _BREAKDOWN_FIGURES = {
 }
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    common = argparse.ArgumentParser(add_help=False)
-    common.add_argument(
+def add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    """Declare every shared scenario knob on ``parser``, exactly once.
+
+    Each option maps onto one :class:`repro.config.ScenarioSpec` field;
+    :func:`spec_from_args` turns the parsed namespace back into a spec.
+    Every subcommand that runs a testbed shares this set, so a new knob
+    is added here (and read in ``ScenarioSpec.from_cli_args``) and
+    nowhere else.
+    """
+    parser.add_argument(
         "--scale", type=float, default=0.1,
         help="size factor for all memory quantities (1.0 = paper sizes)",
     )
-    common.add_argument(
+    parser.add_argument(
         "--ticks", type=int, default=4,
         help="measurement ticks for the breakdown scenarios",
     )
-    common.add_argument("--seed", type=int, default=20130421)
-    common.add_argument(
+    parser.add_argument("--seed", type=int, default=20130421)
+    parser.add_argument(
         "--scan-policy",
         choices=["full", "incremental", "hybrid"],
         default="full",
@@ -94,7 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "full passes"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--scan-engine",
         choices=["object", "batch"],
         default="object",
@@ -104,7 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "results, faster passes)"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--tiering",
         choices=["off", "hints", "compress", "balloon", "combined"],
         default="off",
@@ -114,7 +130,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "small working sets, or all three combined"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
+        "--thp-policy",
+        choices=list(THP_POLICIES),
+        default="never",
+        help=(
+            "transparent-huge-page policy for the guests: 'never' "
+            "(all 4 KiB, the paper's setup), 'always' collapse every "
+            "eligible aligned range, or 'khugepaged' collapse only "
+            "working-set-hot ranges; KSM splits huge blocks on merge"
+        ),
+    )
+    parser.add_argument(
+        "--hugepages", type=int, default=512, metavar="PAGES",
+        help=(
+            "huge-block size in base pages (power of two; default 512 "
+            "= 2 MiB); only meaningful with --thp-policy != never"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=["dict", "columnar", "columnar-numpy", "columnar-stdlib"],
         default=None,
@@ -125,43 +159,81 @@ def _build_parser() -> argparse.ArgumentParser:
             "columnar implementation; $REPRO_BACKEND sets the default"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--profile", metavar="PATH", default=None,
         help=(
             "profile the run per phase (build/warmup/workload/tiering/"
-            "scan/dump/accounting) and write the wall+CPU JSON report "
-            "to PATH; profiled runs bypass the result cache"
+            "thp/scan/dump/accounting) and write the wall+CPU JSON "
+            "report to PATH; profiled runs bypass the result cache"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--faults", metavar="SEED[:RATE]", default=None,
         help=(
             "inject collection faults from this seed (optional RATE in "
             "[0,1] overrides every per-kind probability)"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help=(
             "worker processes for independent work units "
             "(default: $REPRO_JOBS, else 1 = in-process)"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache for this command",
     )
-    common.add_argument(
+    parser.add_argument(
         "--cache-dir", default=None,
         help=(
             "result-cache directory (default: $REPRO_CACHE_DIR, "
             "else .repro-cache)"
         ),
     )
-    common.add_argument(
+    parser.add_argument(
         "--cache-stats", action="store_true",
         help="print cache and runner statistics after the command",
     )
+
+
+def spec_from_args(
+    args, scenario: Optional[str] = None, deployment=None
+) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` an ``add_scenario_options`` namespace
+    describes (``scenario``/``deployment`` override the namespace for
+    subcommands that hard-code them)."""
+    return ScenarioSpec.from_cli_args(
+        args, scenario=scenario, deployment=deployment
+    )
+
+
+def _add_deployment_arguments(parser: argparse.ArgumentParser) -> None:
+    """The scenario-name + deployment positional pair."""
+    parser.add_argument("name", choices=SCENARIOS)
+    parser.add_argument(
+        "--deployment",
+        choices=[d.value for d in CacheDeployment],
+        default="none",
+    )
+
+
+def _add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    """The JSON/artifact output pair shared by the family commands."""
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="PATH", default=None,
+        help="also write the JSON report to this file",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    add_scenario_options(common)
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,12 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario = sub.add_parser(
         "scenario", parents=[common], help="run a custom scenario"
     )
-    scenario.add_argument("name", choices=SCENARIOS)
-    scenario.add_argument(
-        "--deployment",
-        choices=[d.value for d in CacheDeployment],
-        default="none",
-    )
+    _add_deployment_arguments(scenario)
     profile = sub.add_parser(
         "profile", parents=[common],
         help=(
@@ -196,22 +263,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "per-phase wall/CPU table"
         ),
     )
-    profile.add_argument("name", choices=SCENARIOS)
-    profile.add_argument(
-        "--deployment",
-        choices=[d.value for d in CacheDeployment],
-        default="none",
-    )
+    _add_deployment_arguments(profile)
     doctor = sub.add_parser(
         "doctor", parents=[common],
         help="collect one scenario resiliently and print its health reports",
     )
-    doctor.add_argument("name", choices=SCENARIOS)
-    doctor.add_argument(
-        "--deployment",
-        choices=[d.value for d in CacheDeployment],
-        default="none",
+    _add_deployment_arguments(doctor)
+    hugepages = sub.add_parser(
+        "hugepages", parents=[common],
+        help=(
+            "run the huge-page trade-off curve: bytes KSM saves by "
+            "splitting huge blocks vs the translation benefit lost, "
+            "across THP policies, both scan engines cross-checked"
+        ),
     )
+    hugepages.add_argument(
+        "name", nargs="?", choices=SCENARIOS, default=None,
+        help="restrict the curve to one scenario (default: all three)",
+    )
+    _add_report_arguments(hugepages)
     pressure = sub.add_parser(
         "pressure", parents=[common],
         help=(
@@ -229,14 +299,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "(< 1 creates the pressure; default 0.6)"
         ),
     )
-    pressure.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of text",
-    )
-    pressure.add_argument(
-        "--bench-out", metavar="PATH", default=None,
-        help="also write the JSON report to this file",
-    )
+    _add_report_arguments(pressure)
     fleet = sub.add_parser(
         "fleet",
         help=(
@@ -280,14 +343,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "at any value"
         ),
     )
-    fleet.add_argument(
-        "--json", action="store_true",
-        help="emit the full report as JSON instead of text",
-    )
-    fleet.add_argument(
-        "--bench-out", metavar="PATH", default=None,
-        help="also write the JSON report to this file",
-    )
+    _add_report_arguments(fleet)
     fleet.add_argument(
         "--events", type=int, default=0, metavar="N",
         help="print the first N timeline events (0 = none)",
@@ -338,51 +394,19 @@ def _print_fault_reports(result) -> None:
         print(result.validation_report.render())
 
 
-def _scenario_request(args, scenario: str, deployment) -> ScenarioRequest:
-    from repro.core.columnar import resolve_backend
-
-    return ScenarioRequest(
-        scenario=scenario,
-        deployment=deployment,
-        scale=args.scale,
-        measurement_ticks=args.ticks,
-        seed=args.seed,
-        scan_policy=args.scan_policy,
-        scan_engine=getattr(args, "scan_engine", "object"),
-        faults=_fault_plan(args),
-        tiering=getattr(args, "tiering", "off"),
-        # Canonicalized here (None -> $REPRO_BACKEND -> "dict";
-        # "columnar" -> the pinned implementation) so the cache
-        # fingerprint records the backend that actually ran.
-        backend=resolve_backend(getattr(args, "backend", None)),
-    )
-
-
 def _run_scenario_result(args, scenario: str, deployment):
-    """Run a scenario request: cached normally, direct when profiled."""
-    request = _scenario_request(args, scenario, deployment)
+    """Run a scenario spec: cached normally, direct when profiled."""
+    spec = spec_from_args(args, scenario=scenario, deployment=deployment)
     profile_path = getattr(args, "profile", None)
     if profile_path is None and args.command != "profile":
-        return run_scenario_cached(request, cache=_cache_from(args))
+        return run_cached(spec, cache=_cache_from(args))
     from repro.perf import PhaseProfiler
 
     profiler = PhaseProfiler()
-    result = run_scenario(
-        request.scenario,
-        request.deployment,
-        scale=request.scale,
-        measurement_ticks=request.measurement_ticks,
-        seed=request.seed,
-        faults=request.faults,
-        scan_policy=request.scan_policy,
-        scan_engine=request.scan_engine,
-        tiering=request.tiering,
-        backend=request.backend,
-        profiler=profiler,
-    )
+    result = run(spec, profiler=profiler)
     print(profiler.render(
         f"phase profile: {scenario} ({deployment.value}), "
-        f"scale={args.scale}, engine={request.scan_engine}"
+        f"scale={args.scale}, engine={spec.ksm.scan_engine}"
     ))
     if profile_path is not None:
         profiler.write_json(profile_path)
@@ -474,16 +498,7 @@ def _run_consolidation(figure: str, args) -> None:
 
 def _run_doctor(args) -> None:
     faults = _fault_plan(args)
-    result = run_scenario(
-        args.name,
-        CacheDeployment(args.deployment),
-        scale=args.scale,
-        measurement_ticks=args.ticks,
-        seed=args.seed,
-        faults=faults,
-        scan_policy=args.scan_policy,
-        scan_engine=getattr(args, "scan_engine", "object"),
-    )
+    result = run(spec_from_args(args, scenario=args.name))
     mode = "clean collection" if faults is None else f"faults {args.faults}"
     print(f"doctor: {args.name} ({args.deployment}), {mode}")
     _print_fault_reports(result)
@@ -701,6 +716,77 @@ def _run_pressure(args) -> int:
     return 0
 
 
+def _run_hugepages(args) -> int:
+    import json
+
+    from repro.core.experiments.hugepages import run_hugepage_tradeoff
+
+    scenarios = (args.name,) if args.name else SCENARIOS
+    curve = run_hugepage_tradeoff(
+        scale=args.scale,
+        measurement_ticks=args.ticks,
+        seed=args.seed,
+        block_pages=args.hugepages,
+        scenarios=scenarios,
+        pressure_scenario=scenarios[0],
+        jobs=args.jobs,
+        cache=_cache_from(args),
+    )
+    report = curve.to_dict()
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.bench_out:
+        with open(args.bench_out, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        print(
+            f"hugepages: {args.hugepages}-page blocks "
+            f"({args.hugepages * 4} KiB) at scale {args.scale}; "
+            "savings engine-verified object==batch"
+        )
+        for scenario in scenarios:
+            print(f"  {scenario}:")
+            for policy in sorted({p for (_, p) in curve.points}):
+                point = curve.point(scenario, policy)
+                print(
+                    f"    {policy:>10}: saved {point.saved_bytes / MiB:6.1f} MB "
+                    f"({point.thp_splits} split(s), "
+                    f"{point.huge_bytes_sacrificed / MiB:.1f} MB huge "
+                    f"sacrificed), coverage {point.coverage:.0%}, "
+                    f"throughput x{point.throughput_fraction:.3f}"
+                )
+        print("  pressure (undersized host):")
+        for policy in sorted(curve.pressure):
+            point = curve.pressure[policy]
+            print(
+                f"    {policy:>10}: paging x{point.paging_penalty:.3f} * "
+                f"tlb x{point.tlb_multiplier:.3f} = "
+                f"x{point.throughput_fraction:.3f}"
+            )
+        print(f"  fleet estimate ({curve.fleet_hosts} hosts):")
+        for policy in sorted(curve.fleet):
+            row = curve.fleet[policy]
+            print(
+                f"    {policy:>10}: saved {row['saved_bytes'] / MiB:7.1f} MB, "
+                f"huge sacrificed {row['huge_bytes_sacrificed'] / MiB:7.1f} "
+                f"MB, throughput x{row['throughput_fraction']:.3f}"
+            )
+    invalid = sorted(
+        f"{scenario}/{policy}"
+        for (scenario, policy), point in curve.points.items()
+        if point.validation_codes
+    )
+    if invalid:
+        print(
+            "error: huge-block validation findings at: "
+            + ", ".join(invalid),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _run_cache(args) -> None:
     cache = (
         ResultCache(root=args.cache_dir)
@@ -732,6 +818,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_fleet(args)
         elif command == "pressure":
             return _run_pressure(args)
+        elif command == "hugepages":
+            return _run_hugepages(args)
         elif command == "cache":
             _run_cache(args)
         elif command in ("scenario", "profile"):

@@ -147,6 +147,197 @@ class TieringSettings:
         return self.mode in ("balloon", "combined")
 
 
+#: THP policies accepted by :class:`HugePageSettings` and the CLI
+#: (mirrors ``/sys/kernel/mm/transparent_hugepage/enabled``).
+THP_POLICIES = ("never", "always", "khugepaged")
+
+
+@dataclass(frozen=True)
+class HugePageSettings:
+    """THP-style huge-page policy for the guest kernels.
+
+    * ``"never"`` — all mappings stay 4 KiB (the paper's world);
+    * ``"always"`` — every eligible aligned, fully-mapped range is
+      collapsed into a huge block each THP tick;
+    * ``"khugepaged"`` — only ranges whose pages are hot per the
+      working-set histogram are collapsed (collapse-on-dirty), and
+      blocks whose subpages KSM wants to merge are split
+      (split-on-KSM-merge) — the split/collapse tension the trade-off
+      curve measures.
+    """
+
+    policy: str = "never"
+    #: 4 KiB pages per huge block (512 = a 2 MiB x86 PMD).
+    block_pages: int = 512
+    #: khugepaged only: collapse a range when at least this fraction of
+    #: its pages is hot in the working-set histogram.
+    collapse_hot_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.policy not in THP_POLICIES:
+            raise ValueError(
+                f"unknown THP policy {self.policy!r}; "
+                f"expected one of {THP_POLICIES}"
+            )
+        if self.block_pages < 2 or self.block_pages & (self.block_pages - 1):
+            raise ValueError("block_pages must be a power of two >= 2")
+        if not 0.0 < self.collapse_hot_fraction <= 1.0:
+            raise ValueError("collapse_hot_fraction must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy != "never"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified scenario run (the unified experiment API).
+
+    Composes every knob that accumulated across the CLI and the three
+    ``run_scenario*`` entry points — KSM settings, tiering, huge pages,
+    the accounting backend, fault plan and parallelism — into a single
+    frozen value that fingerprints itself for the result cache.
+
+    Construction paths:
+
+    * :meth:`from_cli_args` — from an argparse namespace produced by
+      ``repro.cli.add_scenario_options``;
+    * direct keyword construction in tests and experiment drivers.
+
+    ``repro.core.experiments.scenarios.run`` is the one entry point
+    consuming a spec; ``run_scenario`` / ``run_scenario_request`` /
+    ``run_scenario_cached`` are deprecation shims over it.
+
+    Cache compatibility: for configurations expressible in the legacy
+    ``ScenarioRequest`` vocabulary (huge pages off, default KSM pacing,
+    default tiering shape), :meth:`cache_parts` reproduces the legacy
+    request's parts exactly, so fingerprints — and therefore every
+    previously cached result — are unchanged.  ``jobs`` never enters
+    the fingerprint (parallel runs are bit-identical to serial).
+    """
+
+    scenario: str
+    #: A ``repro.core.preload.CacheDeployment`` member, or None for
+    #: CacheDeployment.NONE (kept untyped here to avoid an import
+    #: cycle; normalize via :attr:`resolved_deployment`).
+    deployment: Optional[object] = None
+    scale: float = 1.0
+    measurement_ticks: Optional[int] = None
+    seed: int = 20130421
+    ksm: KsmSettings = field(default_factory=KsmSettings)
+    tiering: TieringSettings = field(default_factory=TieringSettings)
+    hugepages: HugePageSettings = field(default_factory=HugePageSettings)
+    backend: str = "dict"
+    #: A ``repro.faults.plan.FaultPlan`` or None (untyped: see above).
+    faults: Optional[object] = None
+    #: Worker processes for fan-out inside the run (None = serial);
+    #: excluded from the fingerprint.
+    jobs: Optional[int] = None
+
+    @property
+    def resolved_deployment(self):
+        if self.deployment is not None:
+            return self.deployment
+        from repro.core.preload import CacheDeployment
+
+        return CacheDeployment.NONE
+
+    @classmethod
+    def from_cli_args(
+        cls,
+        args,
+        scenario: Optional[str] = None,
+        deployment: Optional[object] = None,
+    ) -> "ScenarioSpec":
+        """Build a spec from an ``add_scenario_options`` namespace.
+
+        ``scenario``/``deployment`` override the namespace (figure
+        subcommands hard-code both); missing attributes fall back to
+        their defaults so partially-wired parsers keep working.
+        """
+        from repro.core.columnar.backend import resolve_backend
+        from repro.faults.plan import FaultPlan
+
+        get = lambda name, default=None: getattr(args, name, default)
+        faults = get("faults")
+        if isinstance(faults, str):
+            faults = FaultPlan.from_spec(faults)
+        if deployment is None:
+            deployment = get("deployment")
+        if isinstance(deployment, str):
+            from repro.core.preload import CacheDeployment
+
+            deployment = CacheDeployment(deployment)
+        return cls(
+            scenario=scenario or get("scenario"),
+            deployment=deployment,
+            scale=get("scale", 1.0),
+            measurement_ticks=get("ticks"),
+            seed=get("seed", 20130421),
+            ksm=KsmSettings(
+                scan_policy=get("scan_policy", "full"),
+                scan_engine=get("scan_engine", "object"),
+            ),
+            tiering=TieringSettings(mode=get("tiering") or "off"),
+            hugepages=HugePageSettings(
+                policy=get("thp_policy") or "never",
+                block_pages=get("hugepages") or 512,
+            ),
+            backend=resolve_backend(get("backend")),
+            faults=faults,
+            jobs=get("jobs"),
+        )
+
+    def _legacy_representable(self) -> bool:
+        """True when the legacy ScenarioRequest vocabulary covers us."""
+        return (
+            not self.hugepages.enabled
+            and self.ksm
+            == KsmSettings(
+                scan_policy=self.ksm.scan_policy,
+                scan_engine=self.ksm.scan_engine,
+            )
+            and self.tiering == TieringSettings(mode=self.tiering.mode)
+        )
+
+    def cache_parts(self) -> tuple:
+        """Parts fed to the result-cache fingerprint.
+
+        Legacy-representable specs emit the exact historical
+        ``("scenario-run", ScenarioRequest(...))`` parts so existing
+        cache entries stay valid; anything new fingerprints the spec
+        itself (minus ``jobs``).
+        """
+        if self._legacy_representable():
+            from repro.core.experiments.scenarios import ScenarioRequest
+
+            return (
+                "scenario-run",
+                ScenarioRequest(
+                    scenario=self.scenario,
+                    deployment=self.resolved_deployment,
+                    scale=self.scale,
+                    measurement_ticks=self.measurement_ticks,
+                    seed=self.seed,
+                    scan_policy=self.ksm.scan_policy,
+                    scan_engine=self.ksm.scan_engine,
+                    faults=self.faults,
+                    tiering=self.tiering.mode,
+                    backend=self.backend,
+                ),
+            )
+        normalized = replace(
+            self, deployment=self.resolved_deployment, jobs=None
+        )
+        return ("scenario-spec", normalized)
+
+    def to_fingerprint(self) -> str:
+        """Stable content fingerprint of this spec (cache key body)."""
+        from repro.exec.fingerprint import fingerprint_hex
+
+        return fingerprint_hex(*self.cache_parts())
+
+
 @dataclass(frozen=True)
 class GuestConfig:
     """Table II: one guest VM."""

@@ -10,7 +10,14 @@ from repro.core.experiments.testbed import (
 from repro.core.experiments.scenarios import (
     SCENARIOS,
     ScenarioResult,
+    run,
+    run_cached,
     run_scenario,
+)
+from repro.core.experiments.hugepages import (
+    HugePageCurveResult,
+    HugePagePoint,
+    run_hugepage_tradeoff,
 )
 from repro.core.experiments.powervm import PowerVmResult, run_powervm_experiment
 from repro.core.experiments.consolidation import (
@@ -36,7 +43,12 @@ __all__ = [
     "scale_workload",
     "SCENARIOS",
     "ScenarioResult",
+    "run",
+    "run_cached",
     "run_scenario",
+    "HugePageCurveResult",
+    "HugePagePoint",
+    "run_hugepage_tradeoff",
     "PowerVmResult",
     "run_powervm_experiment",
     "ConsolidationPoint",

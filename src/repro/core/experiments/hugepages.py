@@ -1,0 +1,458 @@
+"""The huge-page/THP trade-off curve: bytes shared vs translation lost.
+
+Transparent huge pages and transparent page sharing want opposite
+things from the same physical memory: a 2 MiB mapping buys TLB reach
+exactly as long as it stays intact, while KSM can only merge 4 KiB
+pages — so every merge inside a huge block first *splits* the block
+(split-on-KSM-merge, the Linux THP/KSM interaction).  The paper's
+scenarios measure what sharing saves; this experiment prices what the
+splitting costs, across three THP policies —
+
+* ``never`` — all-4 KiB baseline (the paper's configuration);
+* ``always`` — every eligible aligned range is collapsed, so KSM must
+  split its way through the guest heap;
+* ``khugepaged`` — only working-set-hot ranges collapse, so splits
+  concentrate where sharing and heat overlap.
+
+Because huge blocks are a pure grouping overlay (subpages keep their
+4 KiB tokens), the *savings* axis is policy-invariant — KSM always wins
+the fight by splitting — and the curve's real axes are the huge bytes
+sacrificed to reach those savings and the translation benefit retained
+by whatever coverage survives.  Throughput composes the
+:class:`~repro.perf.tlb.TlbModel` multiplier with the scanner CPU cost,
+and the pressure point adds the :class:`~repro.perf.paging.PagingModel`
+penalty on a deliberately undersized host, the same composition the
+pressure family uses.  The per-point runs are executed for *both* scan
+engines and the experiment asserts their savings, merges and split
+counts are bit-identical before reporting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    HugePageSettings,
+    KsmSettings,
+    ScenarioSpec,
+    THP_POLICIES,
+)
+from repro.core.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    _guest_specs,
+    run,
+)
+from repro.core.experiments.testbed import (
+    KvmTestbed,
+    TestbedConfig,
+    scale_kernel_profile,
+)
+from repro.exec.cache import ResultCache
+from repro.exec.runner import ParallelRunner, WorkUnit
+from repro.exec.stats import GLOBAL_RUNNER_STATS
+from repro.perf.paging import PagingModel
+from repro.perf.tlb import TlbModel
+from repro.units import DEFAULT_PAGE_SIZE, MiB
+
+__all__ = [
+    "HugePagePoint",
+    "HugePagePressurePoint",
+    "HugePagePressureRequest",
+    "HugePageCurveResult",
+    "run_hugepage_pressure",
+    "run_hugepage_tradeoff",
+]
+
+
+def _settings_for(policy: str, block_pages: int) -> HugePageSettings:
+    if policy == "never":
+        # Keep the all-4KiB baseline legacy-representable so its cache
+        # fingerprint matches pre-hugepage runs.
+        return HugePageSettings()
+    return HugePageSettings(policy=policy, block_pages=block_pages)
+
+
+@dataclass
+class HugePagePoint:
+    """One (scenario, policy) point of the trade-off curve."""
+
+    scenario: str
+    policy: str
+    block_pages: int
+    saved_bytes: int
+    merges: int
+    thp_splits: int
+    #: Huge-backed bytes given up so those merges could happen.
+    huge_bytes_sacrificed: int
+    intact_blocks: int
+    huge_pages: int
+    guest_pages: int
+    #: Fraction of guest pages still huge-backed after the scan.
+    coverage: float
+    tlb_multiplier: float
+    ksm_cpu_fraction: float
+    #: ``tlb_multiplier * (1 - ksm_cpu_fraction)`` — translation won
+    #: net of the scan cost paid to win the savings.
+    throughput_fraction: float
+    validation_codes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "block_pages": self.block_pages,
+            "saved_bytes": self.saved_bytes,
+            "merges": self.merges,
+            "thp_splits": self.thp_splits,
+            "huge_bytes_sacrificed": self.huge_bytes_sacrificed,
+            "intact_blocks": self.intact_blocks,
+            "huge_pages": self.huge_pages,
+            "guest_pages": self.guest_pages,
+            "coverage": self.coverage,
+            "tlb_multiplier": self.tlb_multiplier,
+            "ksm_cpu_fraction": self.ksm_cpu_fraction,
+            "throughput_fraction": self.throughput_fraction,
+            "validation_codes": self.validation_codes,
+        }
+
+
+@dataclass(frozen=True)
+class HugePagePressureRequest:
+    """The undersized-host point: picklable work unit and cache key."""
+
+    policy: str
+    scenario: str = "daytrader4"
+    scale: float = 1.0
+    measurement_ticks: int = 6
+    seed: int = 20130421
+    block_pages: int = 512
+    host_ram_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.policy not in THP_POLICIES:
+            raise ValueError(
+                f"unknown THP policy {self.policy!r}; "
+                f"expected one of {THP_POLICIES}"
+            )
+        if not 0.0 < self.host_ram_fraction <= 1.0:
+            raise ValueError("host_ram_fraction must be in (0, 1]")
+
+    def cache_parts(self):
+        """Input parts for :meth:`repro.exec.ResultCache.key`."""
+        return ("hugepage-pressure", self)
+
+
+@dataclass
+class HugePagePressurePoint:
+    """Measured outcome of one pressure point (bytes at run scale)."""
+
+    policy: str
+    host_ram_bytes: int
+    bytes_in_use: int
+    ksm_saved_bytes: int
+    thp_splits: int
+    coverage: float
+    paging_penalty: float
+    tlb_multiplier: float
+    throughput_fraction: float
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "host_ram_bytes": self.host_ram_bytes,
+            "bytes_in_use": self.bytes_in_use,
+            "ksm_saved_bytes": self.ksm_saved_bytes,
+            "thp_splits": self.thp_splits,
+            "coverage": self.coverage,
+            "paging_penalty": self.paging_penalty,
+            "tlb_multiplier": self.tlb_multiplier,
+            "throughput_fraction": self.throughput_fraction,
+        }
+
+
+def run_hugepage_pressure(
+    request: HugePagePressureRequest,
+) -> HugePagePressurePoint:
+    """Run one pressure point end to end (module-level, picklable).
+
+    Same undersizing as the pressure family's KSM arm (host RAM cut to
+    ``host_ram_fraction``), with the requested THP policy layered on
+    top; the paging penalty and the TLB multiplier compose into the
+    point's throughput.
+    """
+    specs = _guest_specs(request.scenario, request.scale)
+    config = TestbedConfig(
+        kernel_profile=scale_kernel_profile(request.scale),
+        measurement_ticks=request.measurement_ticks,
+        seed=request.seed,
+        scale=request.scale,
+    )
+    if request.scale < 1.0:
+        config.host_ram_bytes = max(
+            int(config.host_ram_bytes * request.scale), 64 * MiB
+        )
+        config.host_kernel_bytes = int(
+            config.host_kernel_bytes * request.scale
+        )
+        config.qemu_overhead_bytes = max(
+            1 << 16, int(config.qemu_overhead_bytes * request.scale)
+        )
+    config.host_ram_bytes = max(
+        1 << 20, int(config.host_ram_bytes * request.host_ram_fraction)
+    )
+    settings = _settings_for(request.policy, request.block_pages)
+    config.hugepages = settings if settings.enabled else None
+    testbed = KvmTestbed(specs, config)
+    testbed.build()
+    testbed.run()
+    host = testbed.host
+    physmem = host.physmem
+
+    guest_pages = sum(
+        kernel.vm.guest_npages for kernel in testbed.kernels.values()
+    )
+    coverage = (
+        physmem.huge_backed_pages / guest_pages if guest_pages else 0.0
+    )
+    paging = PagingModel(
+        capacity_bytes=config.host_ram_bytes,
+        host_kernel_bytes=config.host_kernel_bytes,
+    )
+    paging_penalty = paging.penalty(
+        float(physmem.bytes_in_use), len(specs), specs[0].memory_bytes
+    )
+    tlb_multiplier = TlbModel().throughput_multiplier(coverage)
+    return HugePagePressurePoint(
+        policy=request.policy,
+        host_ram_bytes=config.host_ram_bytes,
+        bytes_in_use=physmem.bytes_in_use,
+        ksm_saved_bytes=host.ksm.saved_bytes,
+        thp_splits=host.ksm.stats.thp_splits,
+        coverage=coverage,
+        paging_penalty=paging_penalty,
+        tlb_multiplier=tlb_multiplier,
+        throughput_fraction=paging_penalty * tlb_multiplier,
+    )
+
+
+@dataclass
+class HugePageCurveResult:
+    """The whole trade-off curve plus the fleet extrapolation."""
+
+    block_pages: int
+    seed: int
+    scale: float = 1.0
+    measurement_ticks: int = 0
+    #: (scenario, policy) → curve point, savings engine-verified.
+    points: Dict[Tuple[str, str], HugePagePoint] = field(
+        default_factory=dict
+    )
+    pressure: Dict[str, HugePagePressurePoint] = field(
+        default_factory=dict
+    )
+    #: Analytic fleet estimate per policy (see ``fleet_hosts``).
+    fleet: Dict[str, dict] = field(default_factory=dict)
+    fleet_hosts: int = 24
+
+    def point(self, scenario: str, policy: str) -> HugePagePoint:
+        return self.points[(scenario, policy)]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (the CI artifact format)."""
+        return {
+            "block_pages": self.block_pages,
+            "seed": self.seed,
+            "scale": self.scale,
+            "ticks": self.measurement_ticks,
+            "fleet_hosts": self.fleet_hosts,
+            "points": {
+                f"{scenario}/{policy}": point.to_dict()
+                for (scenario, policy), point in sorted(self.points.items())
+            },
+            "pressure": {
+                policy: point.to_dict()
+                for policy, point in sorted(self.pressure.items())
+            },
+            "fleet": {
+                policy: row for policy, row in sorted(self.fleet.items())
+            },
+        }
+
+
+def _curve_point(
+    scenario: str,
+    policy: str,
+    block_pages: int,
+    object_result: ScenarioResult,
+    batch_result: ScenarioResult,
+) -> HugePagePoint:
+    """Verify engine lockstep and fold one run pair into a point."""
+    obj, bat = object_result.ksm_stats, batch_result.ksm_stats
+    if (obj.pages_saved, obj.merges, obj.thp_splits) != (
+        bat.pages_saved,
+        bat.merges,
+        bat.thp_splits,
+    ):
+        raise AssertionError(
+            f"engine divergence at {scenario}/{policy}: "
+            f"object saved={obj.pages_saved} merges={obj.merges} "
+            f"splits={obj.thp_splits} vs batch saved={bat.pages_saved} "
+            f"merges={bat.merges} splits={bat.thp_splits}"
+        )
+    thp = obj.extra.get("thp", {})
+    guest_pages = thp.get("guest_pages", 0)
+    huge_pages = thp.get("huge_pages", 0)
+    coverage = huge_pages / guest_pages if guest_pages else 0.0
+    tlb_multiplier = TlbModel().throughput_multiplier(coverage)
+    cpu_fraction = min(1.0, obj.cpu_percent / 100.0)
+    validation = object_result.validation_report
+    return HugePagePoint(
+        scenario=scenario,
+        policy=policy,
+        block_pages=block_pages,
+        saved_bytes=obj.pages_saved * DEFAULT_PAGE_SIZE,
+        merges=obj.merges,
+        thp_splits=obj.thp_splits,
+        huge_bytes_sacrificed=(
+            obj.thp_splits * block_pages * DEFAULT_PAGE_SIZE
+        ),
+        intact_blocks=thp.get("intact_blocks", 0),
+        huge_pages=huge_pages,
+        guest_pages=guest_pages,
+        coverage=coverage,
+        tlb_multiplier=tlb_multiplier,
+        ksm_cpu_fraction=cpu_fraction,
+        throughput_fraction=tlb_multiplier * (1.0 - cpu_fraction),
+        validation_codes=(
+            validation.codes() if validation is not None else []
+        ),
+    )
+
+
+def run_hugepage_tradeoff(
+    scale: float = 1.0,
+    measurement_ticks: Optional[int] = None,
+    seed: int = 20130421,
+    block_pages: int = 512,
+    policies: Sequence[str] = THP_POLICIES,
+    scenarios: Sequence[str] = SCENARIOS,
+    pressure_scenario: str = "daytrader4",
+    fleet_hosts: int = 24,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    runner: Optional[ParallelRunner] = None,
+) -> HugePageCurveResult:
+    """Produce the headline trade-off curve.
+
+    Every (scenario, policy) cell runs under *both* scan engines; the
+    runs are independent work units, so they fan out (and cache) like
+    the consolidation sweeps and the result is bit-identical with any
+    worker count.  On top of the curve the result carries the pressure
+    points (undersized host, paging penalty composed in) and a purely
+    analytic per-policy fleet estimate.
+    """
+    for policy in policies:
+        if policy not in THP_POLICIES:
+            raise ValueError(
+                f"unknown THP policy {policy!r}; "
+                f"expected a subset of {THP_POLICIES}"
+            )
+    specs: List[Tuple[str, object]] = []
+    for scenario in scenarios:
+        for policy in policies:
+            for engine in ("object", "batch"):
+                spec = ScenarioSpec(
+                    scenario=scenario,
+                    scale=scale,
+                    measurement_ticks=measurement_ticks,
+                    seed=seed,
+                    ksm=KsmSettings(scan_engine=engine),
+                    hugepages=_settings_for(policy, block_pages),
+                )
+                specs.append((f"{scenario}/{policy}/{engine}", spec))
+    pressure_requests = [
+        (
+            f"pressure/{policy}",
+            HugePagePressureRequest(
+                policy=policy,
+                scenario=pressure_scenario,
+                scale=scale,
+                measurement_ticks=(
+                    measurement_ticks if measurement_ticks is not None else 6
+                ),
+                seed=seed,
+                block_pages=block_pages,
+            ),
+        )
+        for policy in policies
+    ]
+
+    results: Dict[str, object] = {}
+    keys: Dict[str, str] = {}
+    missing: List[Tuple[str, WorkUnit]] = []
+    caching = cache is not None and cache.enabled
+    for label, spec in specs:
+        if caching:
+            keys[label] = cache.key(*spec.cache_parts())
+            value, hit = cache.get(keys[label])
+            if hit:
+                results[label] = value
+                continue
+        missing.append((label, WorkUnit(run, (spec,), label=label)))
+    for label, request in pressure_requests:
+        if caching:
+            keys[label] = cache.key(*request.cache_parts())
+            value, hit = cache.get(keys[label])
+            if hit:
+                results[label] = value
+                continue
+        missing.append(
+            (label, WorkUnit(run_hugepage_pressure, (request,), label=label))
+        )
+    if missing:
+        if runner is None:
+            runner = ParallelRunner(jobs=jobs, stats=GLOBAL_RUNNER_STATS)
+        units = [unit for _, unit in missing]
+        for (label, _), result in zip(missing, runner.map(units)):
+            if caching:
+                cache.put(keys[label], result)
+            results[label] = result
+
+    curve = HugePageCurveResult(
+        block_pages=block_pages,
+        seed=seed,
+        scale=scale,
+        measurement_ticks=(
+            measurement_ticks if measurement_ticks is not None else 6
+        ),
+        fleet_hosts=fleet_hosts,
+    )
+    for scenario in scenarios:
+        for policy in policies:
+            curve.points[(scenario, policy)] = _curve_point(
+                scenario,
+                policy,
+                block_pages,
+                results[f"{scenario}/{policy}/object"],
+                results[f"{scenario}/{policy}/batch"],
+            )
+    for label, request in pressure_requests:
+        curve.pressure[request.policy] = results[label]
+
+    # Analytic fleet extrapolation: every host runs the pressure
+    # scenario under the given policy; savings and sacrifices scale
+    # linearly, the TLB multiplier is a per-host intensive quantity.
+    for policy in policies:
+        per_host = curve.points[(pressure_scenario, policy)]
+        curve.fleet[policy] = {
+            "hosts": fleet_hosts,
+            "saved_bytes": per_host.saved_bytes * fleet_hosts,
+            "huge_bytes_sacrificed": (
+                per_host.huge_bytes_sacrificed * fleet_hosts
+            ),
+            "tlb_multiplier": per_host.tlb_multiplier,
+            "throughput_fraction": per_host.throughput_fraction,
+        }
+    return curve

@@ -17,10 +17,17 @@ shared-copy cache deployment; the same driver serves the "before" and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.config import Benchmark
+from repro.config import (
+    Benchmark,
+    HugePageSettings,
+    KsmSettings,
+    ScenarioSpec,
+    TieringSettings,
+)
 from repro.core.accounting import OwnerAccounting
 from repro.core.breakdown import JavaBreakdown, VmBreakdown
 from repro.core.dump import CollectionReport, SystemDump
@@ -83,6 +90,83 @@ def _guest_specs(scenario: str, scale: float) -> List[GuestSpec]:
     )
 
 
+def run(spec: ScenarioSpec, profiler=None) -> ScenarioResult:
+    """Build, run and analyse the scenario a :class:`ScenarioSpec`
+    describes — the single entry point behind every ``run_scenario*``
+    shim and CLI subcommand.
+
+    ``spec.scale`` < 1 shrinks every byte quantity proportionally (for
+    tests); the figures run at scale 1.0, the paper's actual sizes.
+    With a fault plan, collection runs in resilient mode and the result
+    carries the collection and validation reports.  ``profiler`` (a
+    :class:`repro.perf.PhaseProfiler`) accumulates per-phase wall/CPU
+    cost; profiled runs should bypass the result cache.
+    """
+    deployment = spec.resolved_deployment
+    specs = _guest_specs(spec.scenario, spec.scale)
+    config = TestbedConfig(
+        deployment=deployment,
+        kernel_profile=scale_kernel_profile(spec.scale),
+        seed=spec.seed,
+        scale=spec.scale,
+        backend=spec.backend,
+        ksm=spec.ksm,
+        tiering=spec.tiering if spec.tiering.mode != "off" else None,
+        hugepages=spec.hugepages if spec.hugepages.enabled else None,
+    )
+    if spec.scale < 1.0:
+        config.host_ram_bytes = max(
+            int(config.host_ram_bytes * spec.scale), 64 * 1024 * 1024
+        )
+        config.host_kernel_bytes = int(
+            config.host_kernel_bytes * spec.scale
+        )
+        config.qemu_overhead_bytes = max(
+            1 << 16, int(config.qemu_overhead_bytes * spec.scale)
+        )
+    if spec.measurement_ticks is not None:
+        config.measurement_ticks = spec.measurement_ticks
+    testbed = KvmTestbed(specs, config, profiler=profiler)
+    result = testbed.measure(faults=spec.faults)
+    return ScenarioResult(
+        scenario=spec.scenario,
+        deployment=deployment,
+        vm_breakdown=result.vm_breakdown,
+        java_breakdown=result.java_breakdown,
+        accounting=result.accounting,
+        ksm_stats=result.ksm_stats,
+        dump=result.dump,
+        collection_report=result.dump.collection,
+        validation_report=result.validation,
+    )
+
+
+def run_cached(
+    spec: ScenarioSpec, cache: Optional[ResultCache] = None
+) -> ScenarioResult:
+    """Run a spec through the content-addressed result cache.
+
+    With no ``cache`` (or a disabled one) this is plain :func:`run`;
+    with one, repeated invocations — and cross-figure duplicates such
+    as Fig. 2 / Fig. 3(a), the identical ``daytrader4`` run — become
+    near-instant hits.  Legacy-representable specs fingerprint exactly
+    like their historical :class:`ScenarioRequest`, so pre-existing
+    cache entries keep hitting.
+    """
+    if cache is None or not cache.enabled:
+        return run(spec)
+    return cache.get_or_compute(spec.cache_parts(), lambda: run(spec))
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build a repro.config.ScenarioSpec and "
+        "call repro.core.experiments.scenarios.run/run_cached instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_scenario(
     scenario: str,
     deployment: CacheDeployment = CacheDeployment.NONE,
@@ -96,61 +180,25 @@ def run_scenario(
     backend: str = "dict",
     profiler=None,
 ) -> ScenarioResult:
-    """Build, run and analyse one breakdown scenario.
+    """Deprecated shim over :func:`run` (the historical signature).
 
-    ``scale`` < 1 shrinks every byte quantity proportionally (for tests);
-    the figures run at scale 1.0, the paper's actual sizes.  With a
-    ``faults`` plan, collection runs in resilient mode and the result
-    carries the collection and validation reports.  ``scan_policy``
-    selects the KSM scan policy ("full", the paper's configuration, or
-    the dirty-log-driven "incremental"/"hybrid") and ``scan_engine``
-    the scanner implementation ("object" per-page or "batch" columnar —
-    identical results).  ``tiering`` enables
-    the working-set tiering engine ("off", "hints", "compress",
-    "balloon" or "combined").  ``backend`` picks the dump-analysis
-    pipeline ("dict", "columnar", "columnar-numpy", "columnar-stdlib");
-    every backend produces identical breakdowns.  ``profiler`` (a
-    :class:`repro.perf.PhaseProfiler`) accumulates per-phase wall/CPU
-    cost; profiled runs should bypass the result cache.
+    Builds the equivalent :class:`ScenarioSpec` and runs it; results
+    and cache fingerprints are identical to the pre-spec API.
     """
-    specs = _guest_specs(scenario, scale)
-    config = TestbedConfig(
-        deployment=deployment,
-        kernel_profile=scale_kernel_profile(scale),
-        seed=seed,
-        scale=scale,
-        backend=backend,
-    )
-    config.ksm = replace(
-        config.ksm, scan_policy=scan_policy, scan_engine=scan_engine
-    )
-    if tiering != "off":
-        from repro.config import TieringSettings
-
-        config.tiering = TieringSettings(mode=tiering)
-    if scale < 1.0:
-        config.host_ram_bytes = max(
-            int(config.host_ram_bytes * scale), 64 * 1024 * 1024
-        )
-        config.host_kernel_bytes = int(config.host_kernel_bytes * scale)
-        config.qemu_overhead_bytes = max(
-            1 << 16, int(config.qemu_overhead_bytes * scale)
-        )
-    if measurement_ticks is not None:
-        config.measurement_ticks = measurement_ticks
-    testbed = KvmTestbed(specs, config, profiler=profiler)
-    result = testbed.measure(faults=faults)
-    return ScenarioResult(
+    _warn_deprecated("run_scenario")
+    spec = ScenarioSpec(
         scenario=scenario,
         deployment=deployment,
-        vm_breakdown=result.vm_breakdown,
-        java_breakdown=result.java_breakdown,
-        accounting=result.accounting,
-        ksm_stats=result.ksm_stats,
-        dump=result.dump,
-        collection_report=result.dump.collection,
-        validation_report=result.validation,
+        scale=scale,
+        measurement_ticks=measurement_ticks,
+        seed=seed,
+        ksm=KsmSettings(scan_policy=scan_policy, scan_engine=scan_engine),
+        tiering=TieringSettings(mode=tiering),
+        hugepages=HugePageSettings(),
+        backend=backend,
+        faults=faults,
     )
+    return run(spec, profiler=profiler)
 
 
 @dataclass(frozen=True)
@@ -187,35 +235,37 @@ class ScenarioRequest:
         """Input parts for :meth:`repro.exec.ResultCache.key`."""
         return ("scenario-run", self)
 
+    def to_spec(self) -> ScenarioSpec:
+        """The equivalent :class:`ScenarioSpec` (same fingerprint)."""
+        return ScenarioSpec(
+            scenario=self.scenario,
+            deployment=self.deployment,
+            scale=self.scale,
+            measurement_ticks=self.measurement_ticks,
+            seed=self.seed,
+            ksm=KsmSettings(
+                scan_policy=self.scan_policy, scan_engine=self.scan_engine
+            ),
+            tiering=TieringSettings(mode=self.tiering),
+            hugepages=HugePageSettings(),
+            backend=self.backend,
+            faults=self.faults,
+        )
+
 
 def run_scenario_request(request: ScenarioRequest) -> ScenarioResult:
-    """Run the scenario a request describes (module-level, picklable)."""
-    return run_scenario(
-        request.scenario,
-        request.deployment,
-        scale=request.scale,
-        measurement_ticks=request.measurement_ticks,
-        seed=request.seed,
-        faults=request.faults,
-        scan_policy=request.scan_policy,
-        scan_engine=request.scan_engine,
-        tiering=request.tiering,
-        backend=request.backend,
-    )
+    """Deprecated shim: run the scenario a legacy request describes."""
+    _warn_deprecated("run_scenario_request")
+    return run(request.to_spec())
 
 
 def run_scenario_cached(
     request: ScenarioRequest, cache: Optional[ResultCache] = None
 ) -> ScenarioResult:
-    """Run a scenario through the content-addressed result cache.
+    """Deprecated shim over :func:`run_cached` for legacy requests.
 
-    With no ``cache`` (or a disabled one) this is plain
-    :func:`run_scenario_request`; with one, repeated invocations — and
-    cross-figure duplicates such as Fig. 2 / Fig. 3(a), which are the
-    identical ``daytrader4`` run — become near-instant hits.
+    The converted spec fingerprints exactly like the request did, so
+    cached results from the pre-spec API keep hitting.
     """
-    if cache is None or not cache.enabled:
-        return run_scenario_request(request)
-    return cache.get_or_compute(
-        request.cache_parts(), lambda: run_scenario_request(request)
-    )
+    _warn_deprecated("run_scenario_cached")
+    return run_cached(request.to_spec(), cache)

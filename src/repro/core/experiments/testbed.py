@@ -19,7 +19,12 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import JvmConfig, KsmSettings, TieringSettings
+from repro.config import (
+    HugePageSettings,
+    JvmConfig,
+    KsmSettings,
+    TieringSettings,
+)
 from repro.core.accounting import (
     OwnerAccounting,
     apply_degradation,
@@ -33,7 +38,11 @@ from repro.core.breakdown import (
 )
 from repro.core.dump import SystemDump, collect_system_dump
 from repro.core.preload import CacheDeployment, CacheProvisioner
-from repro.core.validate import ValidationReport, validate_dump
+from repro.core.validate import (
+    ValidationReport,
+    validate_dump,
+    validate_thp,
+)
 from repro.faults.plan import FaultPlan
 from repro.guestos.kernel import GuestKernel, KernelProfile
 from repro.guestos.pagecache import BackingFile
@@ -84,6 +93,9 @@ class TestbedConfig:
     #: "columnar" (fastest available), "columnar-numpy",
     #: "columnar-stdlib".  All produce identical breakdowns.
     backend: str = "dict"
+    #: Transparent-huge-page policy; None (or policy "never") keeps
+    #: every mapping at 4 KiB, the paper's configuration.
+    hugepages: Optional[HugePageSettings] = None
 
 
 @dataclass
@@ -243,11 +255,24 @@ class KvmTestbed:
             jvm.startup()
             self.jvms[spec.name] = jvm
             vm.allocate_overhead(cfg.qemu_overhead_bytes)
+            kernel.enable_thp(cfg.hugepages)
+        if self._thp_enabled:
+            # Initial collapse pass: under "always" the boot-time image
+            # is huge-backed before KSM ever sees it (the THP-first
+            # ordering real kernels exhibit); "khugepaged" waits for
+            # heat, so this pass is a no-op there.
+            for kernel in self.kernels.values():
+                kernel.thp_tick()
         if cfg.tiering is not None:
             from repro.tiering import TieringEngine
 
             self.tiering = TieringEngine(self.host, self.kernels, cfg.tiering)
         self._built = True
+
+    @property
+    def _thp_enabled(self) -> bool:
+        cfg = self.config
+        return cfg.hugepages is not None and cfg.hugepages.enabled
 
     def _spawn_system_processes(self, kernel: GuestKernel) -> None:
         """sshd + rsyslogd: small daemons from the base image.
@@ -324,6 +349,10 @@ class KvmTestbed:
             if self.tiering is not None:
                 with self._phase("tiering"):
                     self.tiering.tick()
+            if self._thp_enabled:
+                with self._phase("thp"):
+                    for kernel in self.kernels.values():
+                        kernel.thp_tick()
             if self.config.ksm_enabled:
                 with self._phase("scan"):
                     self.host.ksm.run_for_ms(tick_ms)
@@ -358,11 +387,35 @@ class KvmTestbed:
                 apply_degradation(
                     accounting, dump, validation, dump.collection
                 )
+        ksm_stats = self.host.ksm.snapshot_stats()
+        if self._thp_enabled:
+            physmem = self.host.physmem
+            ksm_stats.extra["thp"] = {
+                "block_pages": self.config.hugepages.block_pages,
+                "policy": self.config.hugepages.policy,
+                "intact_blocks": physmem.blocks_intact,
+                "huge_pages": physmem.huge_backed_pages,
+                "guest_pages": sum(
+                    kernel.vm.guest_npages
+                    for kernel in self.kernels.values()
+                ),
+                "blocks_formed": physmem.blocks_formed,
+                "blocks_split": physmem.blocks_split,
+                "splits_by_reason": dict(
+                    sorted(physmem.block_splits_by_reason.items())
+                ),
+            }
+            thp_report = validate_thp(physmem)
+            if validation is None:
+                validation = thp_report
+            else:
+                validation.findings.extend(thp_report.findings)
+                validation.sort()
         return MeasurementResult(
             vm_breakdown=vm_breakdown(accounting),
             java_breakdown=java_breakdown(accounting),
             accounting=accounting,
-            ksm_stats=self.host.ksm.snapshot_stats(),
+            ksm_stats=ksm_stats,
             dump=dump,
             validation=validation,
         )

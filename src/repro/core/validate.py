@@ -68,6 +68,9 @@ SEVERITY_BY_CODE: Dict[str, Severity] = {
     "fleet-down-host-occupied": Severity.ERROR,
     "fleet-bytes-not-conserved": Severity.ERROR,
     "fleet-negative-savings": Severity.ERROR,
+    # Transparent-huge-page block invariants (split-on-KSM-merge).
+    "thp-shared-in-block": Severity.ERROR,
+    "thp-block-accounting": Severity.ERROR,
 }
 
 #: Which finding codes each dump-corrupting fault class must produce
@@ -503,6 +506,66 @@ def validate_compression(physmem, stores) -> ValidationReport:
             "compression-pool-mismatch", "",
             f"host charges {physmem.pool_bytes} B of pool memory but the "
             f"compressed stores hold {audited_total} B",
+        )
+    report.sort()
+    return report
+
+
+def validate_thp(physmem) -> ValidationReport:
+    """Check the live huge-block overlay's invariants.
+
+    Duck-typed against :class:`repro.mem.physmem.HostPhysicalMemory`.
+    The two invariant families the huge-page tentpole promises:
+
+    * ``thp-shared-in-block`` — no merged (KSM-stable) or shared
+      (refcount > 1) or dead frame may sit inside an *intact* huge
+      block: split-on-KSM-merge must have dissolved the block before
+      any sharing happened;
+    * ``thp-block-accounting`` — the block overlay's books are exact:
+      every member frame's back-pointer names its block, the owning
+      page table still maps each member vpn to the recorded frame, and
+      the formed/split counters reconcile with the intact population.
+    """
+    report = ValidationReport()
+    for block in physmem.iter_blocks():
+        shared = 0
+        broken = 0
+        for offset, fid in enumerate(block.fids):
+            frame = physmem.frame(fid)
+            if frame is None:
+                shared += 1
+                continue
+            if frame.ksm_stable or frame.refcount != 1:
+                shared += 1
+            if frame.block != block.bid:
+                broken += 1
+            if block.table.translate(block.base_vpn + offset) != fid:
+                broken += 1
+        if shared:
+            report.add(
+                "thp-shared-in-block", block.table.name,
+                f"intact huge block {block.bid} at "
+                f"{block.base_vpn:#x} holds merged/shared/dead frames "
+                "(split-on-KSM-merge was bypassed)",
+                count=shared,
+            )
+        if len(block.fids) != block.npages:
+            broken += 1
+        if broken:
+            report.add(
+                "thp-block-accounting", block.table.name,
+                f"huge block {block.bid} bookkeeping is inconsistent "
+                "(back-pointers or mappings disagree with the block map)",
+                count=broken,
+            )
+    intact = physmem.blocks_intact
+    formed = physmem.blocks_formed
+    split = physmem.blocks_split
+    if formed - split != intact:
+        report.add(
+            "thp-block-accounting", "",
+            f"block counters do not reconcile: formed {formed} - "
+            f"split {split} != intact {intact}",
         )
     report.sort()
     return report

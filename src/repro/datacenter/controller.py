@@ -423,11 +423,15 @@ class FleetController:
 
     def _drain(self, host: FleetHost, result: FleetRunResult) -> None:
         """Live-migrate every VM off a degraded host (best effort)."""
+        committed = False
         for vm in sorted(host.vms.values(), key=lambda v: v.name):
             dest = self.policy.choose(self.fleet, vm)
             if dest is None:
                 break  # nowhere to drain to; remaining VMs stay put
-            self._migrate(vm, dest, result)
+            committed |= self._migrate(vm, dest, result).committed
+        if committed:
+            # The moves changed the capacity map; queued VMs may fit now.
+            self._heal(self.fleet.clock.now_ms, result)
 
     def _migrate(
         self, vm: FleetVm, dest: FleetHost, result: FleetRunResult
@@ -486,6 +490,7 @@ class FleetController:
         """Migrate the smallest VMs off an over-pressured host."""
         if host.state is not HostState.UP:
             return
+        committed = False
         while (
             host.committed_bytes + host.reserved_bytes
             > host.effective_capacity_bytes
@@ -501,6 +506,9 @@ class FleetController:
             outcome = self._migrate(vm, dest, result)
             if not outcome.committed:
                 break
+            committed = True
+        if committed:
+            self._heal(self.fleet.clock.now_ms, result)
 
     def _on_partition(
         self, event: FleetEvent, result: FleetRunResult
@@ -529,7 +537,16 @@ class FleetController:
         """Move load onto a freshly recovered (empty) host."""
         if target.state is not HostState.UP:
             return
+        if self._rebalance_moves(target, result):
+            # Load spread out; hosts that shed a VM may take a queued one.
+            self._heal(self.fleet.clock.now_ms, result)
+
+    def _rebalance_moves(
+        self, target: FleetHost, result: FleetRunResult
+    ) -> int:
+        """The move loop itself; returns how many moves committed."""
         fleet = self.fleet
+        committed = 0
         for _ in range(self.config.max_rebalance_moves):
             loaded = max(
                 (
@@ -543,27 +560,29 @@ class FleetController:
                 default=None,
             )
             if loaded is None:
-                return
+                return committed
             spread = (
                 loaded.committed_bytes / loaded.capacity_bytes
                 - target.committed_bytes / target.capacity_bytes
             )
             if spread <= self.config.rebalance_spread:
-                return
+                return committed
             vm = min(
                 loaded.vms.values(),
                 key=lambda v: (v.memory_bytes, v.name),
             )
             if not target.accepts(vm.memory_bytes):
-                return
+                return committed
             outcome = self._migrate(vm, target, result)
             if outcome.committed:
+                committed += 1
                 fleet.log.record(
                     fleet.clock.now_ms, FleetEventKind.REBALANCE_MOVE,
                     vm.name, f"{loaded.name} -> {target.name}",
                 )
             else:
-                return
+                return committed
+        return committed
 
 
 # ----------------------------------------------------------------------

@@ -108,6 +108,8 @@ class GuestKernel:
         # Deflate-on-OOM hook (virtio-balloon's F_DEFLATE_ON_OOM): called
         # when the allocator runs dry; returns True if it freed pages.
         self._oom_handler: Optional[Callable[[], bool]] = None
+        #: Transparent-huge-page manager; None until :meth:`enable_thp`.
+        self.thp = None
 
     # ------------------------------------------------------------------
     # Guest-physical allocation
@@ -277,6 +279,30 @@ class GuestKernel:
             if tag != "pagecache"  # lives in the page cache, counted below
         )
         return (boot_pages + self.page_cache.cached_pages) * self.page_size
+
+    # ------------------------------------------------------------------
+    # Transparent huge pages
+    # ------------------------------------------------------------------
+
+    def enable_thp(self, settings) -> None:
+        """Attach a :class:`~repro.guestos.thp.ThpManager` to this guest.
+
+        ``settings`` is a :class:`repro.config.HugePageSettings`; a
+        ``"never"`` policy leaves THP off (matching
+        ``transparent_hugepage=never`` on the kernel command line).
+        """
+        from repro.guestos.thp import ThpManager
+
+        if settings is None or not settings.enabled:
+            self.thp = None
+            return
+        self.thp = ThpManager(self.vm, settings)
+
+    def thp_tick(self) -> int:
+        """Run one khugepaged pass; returns new collapses (0 if off)."""
+        if self.thp is None:
+            return 0
+        return self.thp.tick()
 
     # ------------------------------------------------------------------
     # Processes

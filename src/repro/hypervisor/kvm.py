@@ -138,6 +138,17 @@ class KvmGuestVm(GuestVmBase):
     def guest_npages(self) -> int:
         return self._guest_npages
 
+    @property
+    def guest_host_base_vpn(self) -> int:
+        """First host vpn of the guest-memory region.
+
+        The region is a single affine memslot whose base is a multiple
+        of ``_VM_REGION_STRIDE_PAGES`` (2**30), so gfn alignment and
+        host-vpn alignment coincide for any power-of-two huge-block
+        size up to the stride — the THP manager relies on this.
+        """
+        return self._slot.host_base_vpn
+
     def _host_vpn(self, gfn: int) -> int:
         if not 0 <= gfn < self._guest_npages:
             raise ValueError(

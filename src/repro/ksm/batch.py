@@ -391,6 +391,12 @@ class BatchKsmScanner(KsmScanner):
                         index.drop(token)
                         row(table, vpn, fid, token)
                     elif stable_fid != fid:
+                        # Split-on-KSM-merge happens eagerly (matching
+                        # the object engine's examination order) even
+                        # though the merge itself is deferred — splits
+                        # are idempotent and blocks never re-form
+                        # mid-pass, so the deferral cannot diverge.
+                        self._split_for_merge(fid)
                         merges.append((vpn, stable_fid))
                     # else: this frame *is* the stable node.
                 else:
@@ -432,6 +438,7 @@ class BatchKsmScanner(KsmScanner):
                 self._index.drop(token)
                 node = None
             elif stable_fid != fid:
+                self._split_for_merge(fid)
                 physmem.merge_into(table, vpn, stable_fid)
                 self.stats.merges += 1
                 return
@@ -464,9 +471,12 @@ class BatchKsmScanner(KsmScanner):
             self._index.set_unstable(token, table, vpn)
             return
         if partner_fid == fid:
+            self._split_for_merge(fid)
             physmem.mark_ksm_stable(fid)
             self._index.set_stable(token, fid)
             return
+        self._split_for_merge(partner_fid)
+        self._split_for_merge(fid)
         physmem.mark_ksm_stable(partner_fid)
         self._index.set_stable(token, partner_fid)
         physmem.merge_into(table, vpn, partner_fid)

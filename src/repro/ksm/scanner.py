@@ -464,6 +464,7 @@ class KsmScanner:
                 self._index.drop(token)
                 node = None
             elif stable_fid != fid:
+                self._split_for_merge(fid)
                 self.physmem.merge_into(table, vpn, stable_fid)
                 self.stats.merges += 1
                 return
@@ -506,15 +507,26 @@ class KsmScanner:
             # Same guest-shared frame reached through two mappings; nothing
             # to merge at the host level, but promote it to stable so later
             # candidates can join it.
+            self._split_for_merge(fid)
             self.physmem.mark_ksm_stable(fid)
             self._index.set_stable(token, fid)
             return
 
         # Merge: promote the partner's frame to stable, fold this page in.
+        # Either endpoint may sit inside an intact huge block — sharing
+        # wins, so the blocks are split first (split-on-KSM-merge).
+        self._split_for_merge(partner_fid)
+        self._split_for_merge(fid)
         self.physmem.mark_ksm_stable(partner_fid)
         self._index.set_stable(token, partner_fid)
         self.physmem.merge_into(table, vpn, partner_fid)
         self.stats.merges += 1
+
+    def _split_for_merge(self, fid: int) -> None:
+        """Split the intact huge block around ``fid`` (if any) so the
+        page can be merged; counts one ``thp_splits`` per real split."""
+        if self.physmem.split_block_of(fid, "ksm-merge"):
+            self.stats.thp_splits += 1
 
     def _record_history(self) -> None:
         shared = 0
@@ -664,6 +676,7 @@ class KsmScanner:
             volatile_skips=self.stats.volatile_skips,
             stale_drops=self.stats.stale_drops,
             dirty_log_drained=self.stats.dirty_log_drained,
+            thp_splits=self.stats.thp_splits,
             cpu_ms=self.stats.cpu_ms,
             elapsed_ms=self.stats.elapsed_ms,
         )

@@ -22,6 +22,8 @@ class KsmStats:
     * ``stale_drops``: unstable-tree entries found already rewritten.
     * ``dirty_log_drained``: dirty-log entries consumed by the
       incremental scan policies (0 under ``ScanPolicy.FULL``).
+    * ``thp_splits``: huge blocks split so a shareable 4 KiB subpage
+      could be merged (split-on-KSM-merge; 0 with THP off).
     * ``cpu_ms``: simulated CPU time spent scanning.
     """
 
@@ -33,6 +35,7 @@ class KsmStats:
     volatile_skips: int = 0
     stale_drops: int = 0
     dirty_log_drained: int = 0
+    thp_splits: int = 0
     cpu_ms: float = 0.0
     elapsed_ms: int = 0
     extra: dict = field(default_factory=dict)

@@ -94,16 +94,56 @@ class FrameMirror:
 class Frame:
     """One physical page frame."""
 
-    __slots__ = ("token", "refcount", "ksm_stable")
+    __slots__ = ("token", "refcount", "ksm_stable", "block")
 
     def __init__(self, token: int) -> None:
         self.token = token
         self.refcount = 1
         self.ksm_stable = False
+        #: Id of the huge block this frame belongs to (0 = none).
+        self.block = 0
 
     def __repr__(self) -> str:
         flag = " stable" if self.ksm_stable else ""
+        if self.block:
+            flag += f" block={self.block}"
         return f"Frame(token={self.token:#x}, refs={self.refcount}{flag})"
+
+
+class HugeBlock:
+    """One intact huge mapping: a run of frames grouped under one PMD.
+
+    A block is a *grouping overlay* over ``npages`` consecutively mapped
+    host vpns of a single page table — the member frames keep their
+    individual 4 KiB content tokens, so splitting a block changes no
+    content and KSM savings after a split are identical to the
+    all-4-KiB world.  While a block is intact its frames are pinned
+    exclusive: they cannot be KSM-merged, promoted stable, or shared
+    into another table without splitting the block first (the guards in
+    :class:`HostPhysicalMemory` enforce this).
+    """
+
+    __slots__ = ("bid", "table", "base_vpn", "npages", "fids")
+
+    def __init__(
+        self,
+        bid: int,
+        table: PageTable,
+        base_vpn: int,
+        npages: int,
+        fids: Tuple[int, ...],
+    ) -> None:
+        self.bid = bid
+        self.table = table
+        self.base_vpn = base_vpn
+        self.npages = npages
+        self.fids = fids
+
+    def __repr__(self) -> str:
+        return (
+            f"HugeBlock(bid={self.bid}, table={self.table.name!r}, "
+            f"base={self.base_vpn:#x}, npages={self.npages})"
+        )
 
 
 class HostPhysicalMemory:
@@ -126,6 +166,11 @@ class HostPhysicalMemory:
         self._frames_ever_allocated = 0
         self._pool_bytes = 0
         self._mirror: Optional[FrameMirror] = None
+        self._blocks: Dict[int, HugeBlock] = {}
+        self._next_block_id = 1
+        self._blocks_formed = 0
+        self._blocks_split = 0
+        self._block_splits_by_reason: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Frame-level primitives
@@ -192,6 +237,11 @@ class HostPhysicalMemory:
         if frame.refcount < 0:
             raise AssertionError(f"negative refcount on frame {fid}")
         if frame.refcount == 0:
+            if frame.block:
+                # Freeing a subpage tears the huge mapping apart first
+                # (split_huge_pmd semantics) so no block ever holds a
+                # dead frame.
+                self.split_block(frame.block, "free")
             del self._frames[fid]
             if self._mirror is not None:
                 self._mirror.note_free(fid)
@@ -203,10 +253,129 @@ class HostPhysicalMemory:
 
         All stable-bit promotion goes through here (never through direct
         ``frame.ksm_stable`` stores) so the frame mirror cannot drift.
+        Raises while the frame sits inside an intact huge block — the
+        scanner must request a split first (split-on-KSM-merge).
         """
-        self.get_frame(fid).ksm_stable = True
+        frame = self.get_frame(fid)
+        if frame.block:
+            raise ValueError(
+                f"frame {fid} is inside intact huge block {frame.block}; "
+                "split it before KSM promotion"
+            )
+        frame.ksm_stable = True
         if self._mirror is not None:
             self._mirror.note_stable(fid)
+
+    # ------------------------------------------------------------------
+    # Huge (THP-style) frame blocks
+    # ------------------------------------------------------------------
+
+    def form_block(
+        self, table: PageTable, base_vpn: int, npages: int
+    ) -> Optional[int]:
+        """Group ``npages`` consecutively mapped vpns into a huge block.
+
+        Models a khugepaged collapse (or a huge fault on first touch):
+        the run becomes one PMD-level mapping.  Eligibility mirrors the
+        kernel's: every vpn in ``[base_vpn, base_vpn + npages)`` must be
+        mapped, and every backing frame must be exclusive (refcount 1),
+        not KSM-stable, and not already part of a block.  Returns the
+        new block id, or ``None`` when the range is ineligible (never
+        raises — callers probe candidate ranges optimistically).
+        """
+        if npages <= 0:
+            raise ValueError("block must span at least one page")
+        fids = []
+        for vpn in range(base_vpn, base_vpn + npages):
+            fid = table.translate(vpn)
+            if fid is None:
+                return None
+            frame = self._frames.get(fid)
+            if (
+                frame is None
+                or frame.refcount != 1
+                or frame.ksm_stable
+                or frame.block
+            ):
+                return None
+            fids.append(fid)
+        bid = self._next_block_id
+        self._next_block_id += 1
+        block = HugeBlock(bid, table, base_vpn, npages, tuple(fids))
+        self._blocks[bid] = block
+        for fid in fids:
+            self._frames[fid].block = bid
+        self._blocks_formed += 1
+        return bid
+
+    def split_block(self, bid: int, reason: str = "explicit") -> bool:
+        """Dissolve huge block ``bid`` back into 4 KiB mappings.
+
+        Idempotent: splitting an already-split (or never-formed) block
+        id returns False and counts nothing.  Content is untouched —
+        member frames keep their tokens, so KSM sees exactly the pages
+        it would have seen had the block never existed.
+        """
+        block = self._blocks.pop(bid, None)
+        if block is None:
+            return False
+        for fid in block.fids:
+            frame = self._frames.get(fid)
+            if frame is not None and frame.block == bid:
+                frame.block = 0
+        self._blocks_split += 1
+        self._block_splits_by_reason[reason] = (
+            self._block_splits_by_reason.get(reason, 0) + 1
+        )
+        return True
+
+    def split_block_of(self, fid: int, reason: str = "explicit") -> bool:
+        """Split whatever intact block contains ``fid`` (if any)."""
+        frame = self._frames.get(fid)
+        if frame is None or not frame.block:
+            return False
+        return self.split_block(frame.block, reason)
+
+    def block_intact(self, bid: int) -> bool:
+        """True while block ``bid`` has not been split."""
+        return bid in self._blocks
+
+    def block_of_frame(self, fid: int) -> int:
+        """Id of the intact block containing ``fid`` (0 = none)."""
+        frame = self._frames.get(fid)
+        return frame.block if frame is not None else 0
+
+    def iter_blocks(self):
+        """All intact blocks, in formation order (ids are monotonic)."""
+        for bid in sorted(self._blocks):
+            yield self._blocks[bid]
+
+    @property
+    def blocks_intact(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def blocks_formed(self) -> int:
+        """Blocks ever formed (collapse events) since boot."""
+        return self._blocks_formed
+
+    @property
+    def blocks_split(self) -> int:
+        """Blocks ever split since boot (any reason)."""
+        return self._blocks_split
+
+    @property
+    def block_splits_by_reason(self) -> Dict[str, int]:
+        return dict(self._block_splits_by_reason)
+
+    @property
+    def huge_backed_pages(self) -> int:
+        """4 KiB pages currently backed by intact huge blocks."""
+        return sum(block.npages for block in self._blocks.values())
+
+    @property
+    def huge_backed_bytes(self) -> int:
+        return self.huge_backed_pages * self.page_size
 
     # ------------------------------------------------------------------
     # Page-table-level operations (the only way mappings change)
@@ -261,6 +430,12 @@ class HostPhysicalMemory:
 
     def share_mapping(self, table: PageTable, vpn: int, fid: int) -> None:
         """Map ``vpn`` to an existing frame (e.g. a fork or a KSM merge)."""
+        frame = self.get_frame(fid)
+        if frame.block:
+            raise ValueError(
+                f"frame {fid} is inside intact huge block {frame.block}; "
+                "split it before sharing"
+            )
         self.inc_ref(fid)
         table.map(vpn, fid)
 
@@ -286,6 +461,12 @@ class HostPhysicalMemory:
             raise ValueError(
                 "refusing to merge pages with different contents "
                 f"({old.token:#x} != {target.token:#x})"
+            )
+        if old.block or target.block:
+            raise ValueError(
+                f"refusing to merge through an intact huge block "
+                f"(frame {old_fid} block={old.block}, "
+                f"frame {target_fid} block={target.block}); split first"
             )
         target.refcount += 1
         if self._mirror is not None:

@@ -174,6 +174,26 @@ class WorkingSetEstimator:
             )
         )
 
+    def hot_count_in_range(
+        self, table: PageTable, start_vpn: int, stop_vpn: int
+    ) -> int:
+        """Number of hot vpns of ``table`` in ``[start_vpn, stop_vpn)``.
+
+        The khugepaged-style collapse policy scores candidate huge-block
+        ranges with this: one histogram sweep per range, no sorted
+        materialisation of the full hot set.
+        """
+        heat = self._heat.get(table, {})
+        now = self._epoch
+        decay = self.decay
+        threshold = self.hot_threshold
+        return sum(
+            1
+            for vpn, (h, last) in heat.items()
+            if start_vpn <= vpn < stop_vpn
+            and h * decay ** (now - last) >= threshold
+        )
+
     def cold_vpns(self, table: PageTable) -> Tuple[int, ...]:
         """Sorted *mapped* vpns of ``table`` that are not hot.
 

@@ -8,6 +8,7 @@ from repro.perf.throughput import (
     SpecjScoreModel,
 )
 from repro.perf.tiercost import TieringCostModel
+from repro.perf.tlb import TlbModel
 
 __all__ = [
     "PagingModel",
@@ -15,5 +16,6 @@ __all__ = [
     "DayTraderThroughputModel",
     "SpecjScoreModel",
     "TieringCostModel",
+    "TlbModel",
     "scan_cost_ms",
 ]

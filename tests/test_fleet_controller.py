@@ -291,3 +291,83 @@ class TestControllerPieces:
             result,
         )
         assert target.pressure_bytes == 0
+
+
+class TestRetryFromQueue:
+    """Freed capacity re-admits queued VMs without waiting for the
+    next chaos event (the retry-from-queue follow-up)."""
+
+    @staticmethod
+    def _image(name, memory_bytes):
+        from repro.datacenter.fleet import VmImage
+
+        return VmImage(
+            name=name,
+            family="f0",
+            memory_bytes=memory_bytes,
+            resident_pages=1024,
+            shared_tokens=(),
+            dirty_pages_per_s=10.0,
+        )
+
+    def test_rebalance_readmits_queued_vm(self):
+        from repro.datacenter.controller import FleetRunResult
+        from repro.datacenter.events import FleetEvent
+        from repro.datacenter.fleet import FleetFirstFit, VmState
+
+        big = self._image("img-big", 8 * GiB)
+        small = self._image("img-small", 3 * GiB)
+        queued = self._image("img-queued", 6 * GiB)
+        catalog = ImageCatalog([big, small, queued], spec=("manual",))
+        fleet = Fleet(2, 16 * GiB, catalog, seed=5)
+        host0, host1 = fleet.hosts
+        host1.capacity_bytes = 4 * GiB  # recovered host is a small one
+        controller = FleetController(fleet, FleetFirstFit())
+        result = FleetRunResult(
+            fleet=fleet, policy="first-fit", horizon_ms=10_000
+        )
+
+        fleet.place_vm(fleet.admit("vm-big", big), host0)
+        fleet.place_vm(fleet.admit("vm-small", small), host0)
+        host1.state = HostState.DOWN
+        vm_queued = fleet.admit("vm-queued", queued)
+        assert vm_queued.state is VmState.PENDING
+        # 5 GiB free on host0, host1 down: the 6 GiB VM cannot land.
+        assert controller.policy.choose(fleet, vm_queued) is None
+
+        controller._apply(
+            FleetEvent(5000, FleetEventKind.HOST_RECOVERED, host1.name),
+            result,
+        )
+        # Recovery alone cannot take it (4 GiB host), but the rebalance
+        # move (vm-small -> host1) frees host0, and the post-rebalance
+        # heal must re-admit the queued VM right away.
+        assert result.migrations.committed == 1
+        assert vm_queued.state is VmState.RUNNING
+        assert vm_queued.host == host0.name
+        assert fleet.pending_vms() == []
+        assert validate_fleet(fleet).ok
+
+    def test_relieve_and_drain_reheal_without_violations(self):
+        """The heal-after-migration hooks keep every fleet invariant."""
+        catalog = ImageCatalog.generate(9)
+        fleet = Fleet(3, 16 * GiB, catalog, seed=9)
+        controller = FleetController(fleet, FleetSharingAware())
+        arrivals = generate_arrivals(catalog, 12, seed=9, window_ms=1000)
+        result = controller.run(arrivals, horizon_ms=2000)
+        from repro.datacenter.events import FleetEvent
+
+        victim = next(host for host in fleet.hosts if host.vms)
+        controller._apply(
+            FleetEvent(3000, FleetEventKind.HOST_DEGRADED, victim.name),
+            result,
+        )
+        target = max(fleet.hosts, key=lambda h: h.committed_bytes)
+        controller._apply(
+            FleetEvent(
+                4000, FleetEventKind.MEMORY_PRESSURE_SPIKE, target.name,
+                payload=(0.9,),
+            ),
+            result,
+        )
+        assert validate_fleet(fleet).ok

@@ -2,6 +2,8 @@
 
 import inspect
 
+import pytest
+
 import repro
 
 
@@ -51,12 +53,26 @@ class TestMinimalFlow:
         from repro import (
             CacheDeployment,
             MemoryCategory,
-            run_scenario,
+            ScenarioSpec,
+            run,
         )
 
-        result = run_scenario(
-            "daytrader4", CacheDeployment.SHARED_COPY, scale=0.02,
-            measurement_ticks=1,
+        result = run(
+            ScenarioSpec(
+                "daytrader4", CacheDeployment.SHARED_COPY, scale=0.02,
+                measurement_ticks=1,
+            )
         )
         row = result.java_breakdown.non_primary_rows()[0]
         assert row.shared_fraction(MemoryCategory.CLASS_METADATA) > 0.5
+
+    def test_deprecated_shim_still_runs(self):
+        """The pre-1.1 entry point keeps working, with a warning."""
+        from repro import CacheDeployment, run_scenario
+
+        with pytest.warns(DeprecationWarning):
+            result = run_scenario(
+                "daytrader4", CacheDeployment.NONE, scale=0.02,
+                measurement_ticks=1,
+            )
+        assert result.ksm_stats.pages_scanned > 0
